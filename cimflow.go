@@ -1,0 +1,125 @@
+// Package cimflow is the public facade of the CIMFlow framework: an
+// integrated compiler + cycle-accurate simulator for systematic design and
+// evaluation of digital compute-in-memory (CIM) DNN accelerators,
+// reproducing Qi et al., "CIMFlow: An Integrated Framework for Systematic
+// Design and Evaluation of Digital CIM Architectures" (DAC 2025).
+//
+// The typical workflow mirrors the paper's Fig. 2:
+//
+//	g := cimflow.Model("resnet18")            // DNN workload description
+//	cfg := cimflow.DefaultConfig()            // Table I architecture
+//	res, err := cimflow.Run(g, cfg, cimflow.Options{
+//	    Strategy: cimflow.StrategyDP,         // CG-level optimization
+//	})
+//	fmt.Println(res.Stats)                    // cycles, energy, utilization
+//
+// Architecture configurations are fully parameterized (chip, core and unit
+// levels per the hierarchical hardware abstraction), models can be built
+// programmatically or loaded from JSON, compiled programs can be inspected
+// as CIMFlow ISA assembly, and the experiment runners regenerate the
+// paper's evaluation figures.
+package cimflow
+
+import (
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/core"
+	"cimflow/internal/model"
+	"cimflow/internal/report"
+	"cimflow/internal/sim"
+	"cimflow/internal/tensor"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Config is a hierarchical architecture description (chip/core/unit).
+	Config = arch.Config
+	// EnergyParams is the technology energy table.
+	EnergyParams = arch.EnergyParams
+	// Graph is a DNN computation graph.
+	Graph = model.Graph
+	// Node is one operator in a computation graph.
+	Node = model.Node
+	// Shape is a channel-last activation shape.
+	Shape = model.Shape
+	// Tensor is an INT8 activation tensor.
+	Tensor = tensor.Tensor
+	// Strategy selects the CG-level compilation strategy.
+	Strategy = compiler.Strategy
+	// Compiled is a compiled model: per-core programs plus metadata.
+	Compiled = compiler.Compiled
+	// Plan is the CG-level partitioning and mapping decision.
+	Plan = compiler.Plan
+	// Options configures a compile-and-simulate run.
+	Options = core.Options
+	// Result is a completed run: statistics, output tensor, metrics.
+	Result = core.Result
+	// Stats is the simulator's chip-level report.
+	Stats = sim.Stats
+	// Table is an aligned text/CSV result table.
+	Table = report.Table
+)
+
+// Compilation strategies (paper Fig. 5).
+const (
+	StrategyGeneric     = compiler.StrategyGeneric
+	StrategyDuplication = compiler.StrategyDuplication
+	StrategyDP          = compiler.StrategyDP
+)
+
+// DefaultConfig returns the paper's Table I default architecture.
+func DefaultConfig() Config { return arch.DefaultConfig() }
+
+// LoadConfig reads a JSON architecture description.
+func LoadConfig(path string) (Config, error) { return arch.Load(path) }
+
+// Model returns a benchmark network by name: resnet18, vgg19, mobilenetv2,
+// efficientnetb0, or one of the tiny validation networks. It returns nil
+// for unknown names; ModelNames lists the options.
+func Model(name string) *Graph { return model.Zoo(name) }
+
+// ModelNames lists the built-in models.
+func ModelNames() []string { return model.ZooNames() }
+
+// NewGraph starts a custom model description with the given input shape.
+func NewGraph(name string, input Shape) (*Graph, int) { return model.NewGraph(name, input) }
+
+// Compile lowers a model onto an architecture, returning the per-core
+// CIMFlow ISA programs and the partitioning/mapping plan.
+func Compile(g *Graph, cfg Config, strategy Strategy) (*Compiled, error) {
+	return compiler.Compile(g, &cfg, compiler.Options{Strategy: strategy})
+}
+
+// Run compiles and simulates a model with deterministic synthetic weights,
+// returning cycle, energy and utilization statistics plus the output tensor.
+func Run(g *Graph, cfg Config, opt Options) (*Result, error) { return core.Run(g, cfg, opt) }
+
+// Validate runs a model end to end and compares the simulated output
+// against the golden reference executor, returning the mismatch count.
+func Validate(g *Graph, cfg Config, opt Options) (int, error) { return core.Validate(g, cfg, opt) }
+
+// Experiment runners regenerating the paper's evaluation (Sec. IV).
+var (
+	// Fig5Models / Fig6MGSizes / Fig6Flits are the paper's sweep axes.
+	Fig5Models  = core.Fig5Models
+	Fig6MGSizes = core.Fig6MGSizes
+	Fig6Flits   = core.Fig6Flits
+)
+
+// RunFig5 regenerates Fig. 5 (compilation strategies comparison).
+func RunFig5(cfg Config, models []string) ([]core.Fig5Row, error) { return core.RunFig5(cfg, models) }
+
+// RunFig6 regenerates Fig. 6 (MG size x flit width exploration).
+func RunFig6(cfg Config, models []string) ([]core.Fig6Row, error) { return core.RunFig6(cfg, models) }
+
+// RunFig7 regenerates Fig. 7 (SW/HW co-design space).
+func RunFig7(cfg Config, models []string) ([]core.Fig7Row, error) { return core.RunFig7(cfg, models) }
+
+// Fig5Table / Fig6Table / Fig7Table render experiment rows as tables.
+func Fig5Table(rows []core.Fig5Row) *Table { return core.Fig5Table(rows) }
+
+// Fig6Table renders Fig. 6 rows.
+func Fig6Table(rows []core.Fig6Row) *Table { return core.Fig6Table(rows) }
+
+// Fig7Table renders Fig. 7 rows.
+func Fig7Table(rows []core.Fig7Row) *Table { return core.Fig7Table(rows) }

@@ -1,0 +1,110 @@
+package cimflow_test
+
+import (
+	"testing"
+
+	"cimflow"
+)
+
+// TestFacadeEndToEnd exercises the public API surface: model lookup,
+// config, compile, run, validate.
+func TestFacadeEndToEnd(t *testing.T) {
+	if len(cimflow.ModelNames()) < 4 {
+		t.Fatal("model zoo too small")
+	}
+	g := cimflow.Model("tinyresnet")
+	if g == nil {
+		t.Fatal("tinyresnet missing")
+	}
+	cfg := cimflow.DefaultConfig()
+	compiled, err := cimflow.Compile(g, cfg, cimflow.StrategyDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.InstructionCount() == 0 {
+		t.Error("empty compile result")
+	}
+	res, err := cimflow.Run(g, cfg, cimflow.Options{Strategy: cimflow.StrategyDP, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TOPS <= 0 || res.EnergyMJ <= 0 {
+		t.Errorf("degenerate metrics: %v TOPS %v mJ", res.TOPS, res.EnergyMJ)
+	}
+	mism, err := cimflow.Validate(g, cfg, cimflow.Options{Strategy: cimflow.StrategyDP, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mism != 0 {
+		t.Errorf("%d mismatches", mism)
+	}
+}
+
+// TestCustomGraphViaFacade builds a model through the public builder.
+func TestCustomGraphViaFacade(t *testing.T) {
+	g, x := cimflow.NewGraph("custom", cimflow.Shape{H: 8, W: 8, C: 4})
+	x = g.Conv("c1", x, 8, 3, 1, 1, true)
+	x = g.GlobalAvgPool("gap", x)
+	x = g.Flatten("f", x)
+	g.Dense("fc", x, 5, false)
+	mism, err := cimflow.Validate(g, cimflow.DefaultConfig(), cimflow.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mism != 0 {
+		t.Errorf("%d mismatches", mism)
+	}
+}
+
+// TestRunDeterministic: two identical runs must agree cycle-for-cycle.
+func TestRunDeterministic(t *testing.T) {
+	g := cimflow.Model("tinycnn")
+	cfg := cimflow.DefaultConfig()
+	a, err := cimflow.Run(g, cfg, cimflow.Options{Strategy: cimflow.StrategyDP, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cimflow.Run(g, cfg, cimflow.Options{Strategy: cimflow.StrategyDP, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Cycles != b.Stats.Cycles || a.EnergyMJ != b.EnergyMJ {
+		t.Errorf("nondeterministic: %d/%d cycles, %v/%v mJ",
+			a.Stats.Cycles, b.Stats.Cycles, a.EnergyMJ, b.EnergyMJ)
+	}
+	for i := range a.Output.Data {
+		if a.Output.Data[i] != b.Output.Data[i] {
+			t.Fatal("outputs differ between identical runs")
+		}
+	}
+}
+
+// TestFigureTablesRender drives the experiment table builders on a minimal
+// sweep (tiny model) without running the heavyweight benchmark networks.
+func TestFigureTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	cfg := cimflow.DefaultConfig()
+	rows5, err := cimflow.RunFig5(cfg, []string{"mobilenetv2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := cimflow.Fig5Table(rows5)
+	if len(tbl.Rows) != 3 {
+		t.Errorf("fig5 rows = %d, want 3", len(tbl.Rows))
+	}
+	// DP must not be slower than generic.
+	var generic, dp int64
+	for _, r := range rows5 {
+		switch r.Strategy {
+		case cimflow.StrategyGeneric:
+			generic = r.Cycles
+		case cimflow.StrategyDP:
+			dp = r.Cycles
+		}
+	}
+	if dp > generic {
+		t.Errorf("DP (%d cycles) slower than generic (%d)", dp, generic)
+	}
+}

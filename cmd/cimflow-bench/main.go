@@ -1,0 +1,88 @@
+// Command cimflow-bench regenerates the paper's evaluation figures:
+//
+//	cimflow-bench -fig 5             # compilation strategies (Fig. 5)
+//	cimflow-bench -fig 6             # MG size x flit sweep (Fig. 6)
+//	cimflow-bench -fig 7             # SW/HW co-design space (Fig. 7)
+//	cimflow-bench -fig all -csv out/ # everything, also as CSV files
+//
+// Each figure prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the measured-vs-paper comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cimflow"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5 | 6 | 7 | all")
+	models := flag.String("models", "", "comma-separated model subset (default: the figure's models)")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	flag.Parse()
+
+	var subset []string
+	if *models != "" {
+		subset = strings.Split(*models, ",")
+	}
+	cfg := cimflow.DefaultConfig()
+	run := func(name string, f func() (*cimflow.Table, error)) {
+		start := time.Now()
+		t, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cimflow-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		t.Write(os.Stdout)
+		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "cimflow-bench:", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cimflow-bench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := t.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cimflow-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	want := func(n string) bool { return *fig == "all" || *fig == n }
+	if want("5") {
+		run("fig5", func() (*cimflow.Table, error) {
+			rows, err := cimflow.RunFig5(cfg, subset)
+			if err != nil {
+				return nil, err
+			}
+			return cimflow.Fig5Table(rows), nil
+		})
+	}
+	if want("6") {
+		run("fig6", func() (*cimflow.Table, error) {
+			rows, err := cimflow.RunFig6(cfg, subset)
+			if err != nil {
+				return nil, err
+			}
+			return cimflow.Fig6Table(rows), nil
+		})
+	}
+	if want("7") {
+		run("fig7", func() (*cimflow.Table, error) {
+			rows, err := cimflow.RunFig7(cfg, subset)
+			if err != nil {
+				return nil, err
+			}
+			return cimflow.Fig7Table(rows), nil
+		})
+	}
+}

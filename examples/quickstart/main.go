@@ -1,0 +1,31 @@
+// Quickstart: compile a benchmark DNN for the paper's default digital CIM
+// architecture (Table I), simulate one inference cycle-accurately, and
+// print the performance/energy report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cimflow"
+)
+
+func main() {
+	g := cimflow.Model("resnet18")
+	cfg := cimflow.DefaultConfig()
+	fmt.Printf("model: %s (%.1f MB INT8 weights, %.2f GMACs)\n",
+		g.Name, float64(g.TotalWeightBytes())/(1<<20), float64(g.TotalMACs())/1e9)
+	fmt.Printf("architecture: %s (%d cores, %.0f TOPS peak, %d MB CIM capacity)\n\n",
+		cfg.Name, cfg.NumCores(), cfg.PeakTOPS(), cfg.ChipWeightBytes()>>20)
+
+	res, err := cimflow.Run(g, cfg, cimflow.Options{Strategy: cimflow.StrategyDP, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Stats)
+	fmt.Printf("\nlatency %.3f ms, %.2f TOPS, %.4f mJ per inference\n",
+		res.Seconds*1e3, res.TOPS, res.EnergyMJ)
+	fmt.Printf("plan: %d execution stages\n", len(res.Compiled.Plan.Stages))
+}

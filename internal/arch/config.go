@@ -1,0 +1,305 @@
+// Package arch describes digital CIM hardware configurations.
+//
+// The description follows the three-level hardware abstraction of the
+// CIMFlow ISA: chip level (cores, NoC, global memory), core level (compute
+// units, register file, local memory) and unit level (macro groups, macros,
+// elements). A Config is the single source of truth consumed by both the
+// compiler (for capacity-aware mapping) and the simulator (for timing and
+// energy), mirroring the paper's architecture configuration file.
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ChipConfig holds chip-level parameters: the core array, the NoC that
+// connects it, and the global memory reachable through the NoC.
+type ChipConfig struct {
+	// CoreRows and CoreCols give the mesh dimensions of the core array.
+	// Table I's 64 cores correspond to an 8x8 mesh.
+	CoreRows int `json:"core_rows"`
+	CoreCols int `json:"core_cols"`
+	// NoCFlitBytes is the link bandwidth in bytes transferred per cycle per
+	// hop (the "flit size" design knob swept in Fig. 6 and Fig. 7).
+	NoCFlitBytes int `json:"noc_flit_bytes"`
+	// NoCHopLatency is the router+link traversal latency per hop in cycles.
+	NoCHopLatency int `json:"noc_hop_latency"`
+	// GlobalMemBytes is the capacity of the shared global memory.
+	GlobalMemBytes int `json:"global_mem_bytes"`
+	// GlobalMemLatency is the fixed access latency of global memory in
+	// cycles, paid in addition to NoC traversal.
+	GlobalMemLatency int `json:"global_mem_latency"`
+	// GlobalMemBandwidth is the global memory port width in bytes/cycle.
+	GlobalMemBandwidth int `json:"global_mem_bandwidth"`
+}
+
+// CoreConfig holds core-level parameters: the resources each core owns.
+type CoreConfig struct {
+	// NumMacroGroups is the number of macro groups in the CIM compute unit.
+	NumMacroGroups int `json:"num_macro_groups"`
+	// MacrosPerGroup is the number of CIM macros in one macro group (the
+	// "MG size" design knob swept in Fig. 6 and Fig. 7).
+	MacrosPerGroup int `json:"macros_per_group"`
+	// LocalMemBytes is the capacity of the core-private local memory.
+	LocalMemBytes int `json:"local_mem_bytes"`
+	// LocalMemSegments is the number of segments the local memory is divided
+	// into for double-buffering layer inputs and outputs.
+	LocalMemSegments int `json:"local_mem_segments"`
+	// LocalMemLatency is the local memory access latency in cycles.
+	LocalMemLatency int `json:"local_mem_latency"`
+	// LocalMemBandwidth is the local memory port width in bytes/cycle.
+	LocalMemBandwidth int `json:"local_mem_bandwidth"`
+	// InstMemBytes is the instruction memory capacity.
+	InstMemBytes int `json:"inst_mem_bytes"`
+	// NumGRegs is the number of general-purpose registers.
+	NumGRegs int `json:"num_g_regs"`
+	// NumSRegs is the number of special-purpose registers.
+	NumSRegs int `json:"num_s_regs"`
+	// VectorLanes is the SIMD width (INT8 lanes) of the vector compute unit.
+	VectorLanes int `json:"vector_lanes"`
+	// VectorPipelineDepth is the vector unit pipeline depth in cycles.
+	VectorPipelineDepth int `json:"vector_pipeline_depth"`
+	// ScalarLatency is the scalar ALU latency in cycles.
+	ScalarLatency int `json:"scalar_latency"`
+}
+
+// UnitConfig holds unit-level parameters: the geometry of one CIM macro.
+type UnitConfig struct {
+	// MacroRows is the number of wordlines (input-vector length) per macro.
+	MacroRows int `json:"macro_rows"`
+	// MacroCols is the number of bitline columns per macro. With INT8
+	// weights, MacroCols/WeightBits output channels live in one macro.
+	MacroCols int `json:"macro_cols"`
+	// ElementRows and ElementCols give the memory-cell tile (m x n in
+	// Fig. 3) attached to one multiplier/adder-tree element.
+	ElementRows int `json:"element_rows"`
+	ElementCols int `json:"element_cols"`
+	// WeightBits is the stored weight precision.
+	WeightBits int `json:"weight_bits"`
+	// InputBits is the activation precision; inputs are applied bit-serially
+	// so this sets the initiation interval of an MVM.
+	InputBits int `json:"input_bits"`
+	// AccumulatorBits is the output accumulator precision.
+	AccumulatorBits int `json:"accumulator_bits"`
+	// AdderTreeDepth is the pipeline depth of the in-macro adder tree plus
+	// shift-and-accumulate stage, in cycles.
+	AdderTreeDepth int `json:"adder_tree_depth"`
+}
+
+// Config is a complete hierarchical architecture description.
+type Config struct {
+	Name string     `json:"name"`
+	Chip ChipConfig `json:"chip"`
+	Core CoreConfig `json:"core"`
+	Unit UnitConfig `json:"unit"`
+	// ClockGHz is the operating frequency used to convert cycles to seconds.
+	ClockGHz float64 `json:"clock_ghz"`
+	// Energy holds the technology energy parameters.
+	Energy EnergyParams `json:"energy"`
+}
+
+// DefaultConfig returns the paper's Table I default architecture: 64 cores
+// (8x8 mesh), 8-byte NoC flits, 16 MB global memory; 16 macro groups of 8
+// macros each and 512 KB local memory per core; 512x64 macros built from
+// 32x8 elements; INT8 weights and activations at 1 GHz.
+func DefaultConfig() Config {
+	return Config{
+		Name: "cimflow-default",
+		Chip: ChipConfig{
+			CoreRows:           8,
+			CoreCols:           8,
+			NoCFlitBytes:       8,
+			NoCHopLatency:      2,
+			GlobalMemBytes:     16 << 20,
+			GlobalMemLatency:   40,
+			GlobalMemBandwidth: 32,
+		},
+		Core: CoreConfig{
+			NumMacroGroups:      16,
+			MacrosPerGroup:      8,
+			LocalMemBytes:       512 << 10,
+			LocalMemSegments:    4,
+			LocalMemLatency:     2,
+			LocalMemBandwidth:   32,
+			InstMemBytes:        256 << 10,
+			NumGRegs:            32,
+			NumSRegs:            16,
+			VectorLanes:         64,
+			VectorPipelineDepth: 3,
+			ScalarLatency:       1,
+		},
+		Unit: UnitConfig{
+			MacroRows:       512,
+			MacroCols:       64,
+			ElementRows:     32,
+			ElementCols:     8,
+			WeightBits:      8,
+			InputBits:       8,
+			AccumulatorBits: 32,
+			AdderTreeDepth:  4,
+		},
+		ClockGHz: 1.0,
+		Energy:   DefaultEnergyParams(),
+	}
+}
+
+// NumCores returns the total number of cores on the chip.
+func (c *Config) NumCores() int { return c.Chip.CoreRows * c.Chip.CoreCols }
+
+// MacroWeightBytes returns the weight capacity of a single macro in bytes.
+func (c *Config) MacroWeightBytes() int {
+	return c.Unit.MacroRows * c.Unit.MacroCols / 8
+}
+
+// MacroChannels returns how many output channels one macro stores: its
+// bitline columns divided by the weight precision.
+func (c *Config) MacroChannels() int { return c.Unit.MacroCols / c.Unit.WeightBits }
+
+// GroupChannels returns how many output channels one macro group computes in
+// parallel. Within a group the input is broadcast across macros and weights
+// are organized along the output-channel dimension.
+func (c *Config) GroupChannels() int { return c.MacroChannels() * c.Core.MacrosPerGroup }
+
+// CoreWeightBytes returns the total CIM weight capacity of one core.
+func (c *Config) CoreWeightBytes() int {
+	return c.MacroWeightBytes() * c.Core.MacrosPerGroup * c.Core.NumMacroGroups
+}
+
+// ChipWeightBytes returns the total CIM weight capacity of the chip; weights
+// exceeding it force the compiler to split the model into execution stages.
+func (c *Config) ChipWeightBytes() int { return c.CoreWeightBytes() * c.NumCores() }
+
+// SegmentBytes returns the size of one local-memory segment.
+func (c *Config) SegmentBytes() int { return c.Core.LocalMemBytes / c.Core.LocalMemSegments }
+
+// MVMLatency returns the latency in cycles of one CIM_MVM operation over the
+// configured macro geometry: bit-serial input phases plus the adder-tree
+// drain. Back-to-back MVMs pipeline with initiation interval MVMInterval.
+func (c *Config) MVMLatency() int { return c.Unit.InputBits + c.Unit.AdderTreeDepth }
+
+// MVMInterval returns the initiation interval in cycles between pipelined
+// CIM_MVM operations on the same macro group.
+func (c *Config) MVMInterval() int { return c.Unit.InputBits }
+
+// MVMMACs returns the number of INT8 multiply-accumulates performed by one
+// macro group per MVM: every cell row times every stored channel. One
+// CIM_MVM drives one macro group, so this is the per-instruction SIMD width
+// that the MG-size design knob scales.
+func (c *Config) MVMMACs() int { return c.Unit.MacroRows * c.GroupChannels() }
+
+// PeakTOPS returns the chip peak throughput in tera-operations per second
+// (1 MAC = 2 ops) with every core streaming back-to-back full-height MVMs.
+func (c *Config) PeakTOPS() float64 {
+	interval := c.MVMInterval()
+	if stream := (c.Unit.MacroRows + c.Core.LocalMemBandwidth - 1) / c.Core.LocalMemBandwidth; stream > interval {
+		interval = stream
+	}
+	macsPerCycle := float64(c.MVMMACs()) / float64(interval) * float64(c.NumCores())
+	return 2 * macsPerCycle * c.ClockGHz * 1e9 / 1e12
+}
+
+// Validate checks the configuration for internal consistency and returns a
+// descriptive error for the first violated constraint.
+func (c *Config) Validate() error {
+	switch {
+	case c.Chip.CoreRows <= 0 || c.Chip.CoreCols <= 0:
+		return fmt.Errorf("arch: core mesh %dx%d must be positive", c.Chip.CoreRows, c.Chip.CoreCols)
+	case c.Chip.NoCFlitBytes <= 0:
+		return fmt.Errorf("arch: NoC flit size %d must be positive", c.Chip.NoCFlitBytes)
+	case c.Chip.NoCHopLatency <= 0:
+		return fmt.Errorf("arch: NoC hop latency %d must be positive", c.Chip.NoCHopLatency)
+	case c.Chip.GlobalMemBytes <= 0:
+		return fmt.Errorf("arch: global memory %d must be positive", c.Chip.GlobalMemBytes)
+	case c.Chip.GlobalMemBandwidth <= 0:
+		return fmt.Errorf("arch: global memory bandwidth %d must be positive", c.Chip.GlobalMemBandwidth)
+	case c.Core.NumMacroGroups <= 0:
+		return fmt.Errorf("arch: macro groups %d must be positive", c.Core.NumMacroGroups)
+	case c.Core.MacrosPerGroup <= 0:
+		return fmt.Errorf("arch: macros per group %d must be positive", c.Core.MacrosPerGroup)
+	case c.Core.LocalMemBytes <= 0:
+		return fmt.Errorf("arch: local memory %d must be positive", c.Core.LocalMemBytes)
+	case c.Core.LocalMemSegments <= 0 || c.Core.LocalMemBytes%c.Core.LocalMemSegments != 0:
+		return fmt.Errorf("arch: local memory %d not divisible into %d segments",
+			c.Core.LocalMemBytes, c.Core.LocalMemSegments)
+	case c.Core.LocalMemBandwidth <= 0:
+		return fmt.Errorf("arch: local memory bandwidth %d must be positive", c.Core.LocalMemBandwidth)
+	case c.Core.NumGRegs < 8 || c.Core.NumGRegs > 32:
+		return fmt.Errorf("arch: %d general registers outside encodable range [8,32]", c.Core.NumGRegs)
+	case c.Core.NumSRegs < 1 || c.Core.NumSRegs > 32:
+		return fmt.Errorf("arch: %d special registers outside encodable range [1,32]", c.Core.NumSRegs)
+	case c.Core.VectorLanes <= 0:
+		return fmt.Errorf("arch: vector lanes %d must be positive", c.Core.VectorLanes)
+	case c.Unit.MacroRows <= 0 || c.Unit.MacroCols <= 0:
+		return fmt.Errorf("arch: macro geometry %dx%d must be positive", c.Unit.MacroRows, c.Unit.MacroCols)
+	case c.Unit.ElementRows <= 0 || c.Unit.ElementCols <= 0:
+		return fmt.Errorf("arch: element geometry %dx%d must be positive", c.Unit.ElementRows, c.Unit.ElementCols)
+	case c.Unit.MacroRows%c.Unit.ElementRows != 0 || c.Unit.MacroCols%c.Unit.ElementCols != 0:
+		return fmt.Errorf("arch: macro %dx%d not tileable by element %dx%d",
+			c.Unit.MacroRows, c.Unit.MacroCols, c.Unit.ElementRows, c.Unit.ElementCols)
+	case c.Unit.WeightBits <= 0 || c.Unit.MacroCols%c.Unit.WeightBits != 0:
+		return fmt.Errorf("arch: macro columns %d not divisible by weight bits %d",
+			c.Unit.MacroCols, c.Unit.WeightBits)
+	case c.Unit.InputBits <= 0:
+		return fmt.Errorf("arch: input bits %d must be positive", c.Unit.InputBits)
+	case c.Unit.AdderTreeDepth < 0:
+		return fmt.Errorf("arch: adder tree depth %d must be non-negative", c.Unit.AdderTreeDepth)
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("arch: clock %.3f GHz must be positive", c.ClockGHz)
+	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WithMacrosPerGroup returns a copy of the configuration with the MG size
+// (macros per group) changed, keeping the number of macro groups fixed:
+// the Fig. 6 "MG size / # macro" axis scales the SIMD width of one CIM
+// instruction and the core's total macro count together.
+func (c Config) WithMacrosPerGroup(m int) Config {
+	c.Core.MacrosPerGroup = m
+	c.Name = fmt.Sprintf("%s-mg%d", c.Name, m)
+	return c
+}
+
+// WithFlitBytes returns a copy of the configuration with the NoC link
+// bandwidth changed.
+func (c Config) WithFlitBytes(b int) Config {
+	c.Chip.NoCFlitBytes = b
+	c.Name = fmt.Sprintf("%s-flit%d", c.Name, b)
+	return c
+}
+
+// Load reads a JSON architecture configuration from path. Missing fields
+// inherit the defaults, so a config file only needs to state deviations.
+func Load(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("arch: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes a JSON architecture configuration, applying defaults for
+// absent fields and validating the result.
+func Parse(data []byte) (Config, error) {
+	cfg := DefaultConfig()
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("arch: parsing config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Save writes the configuration to path as indented JSON.
+func (c *Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("arch: encoding config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

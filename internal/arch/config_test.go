@@ -1,0 +1,208 @@
+package arch
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.NumCores(); got != 64 {
+		t.Errorf("NumCores = %d, Table I says 64", got)
+	}
+	if c.Chip.NoCFlitBytes != 8 {
+		t.Errorf("NoCFlitBytes = %d, Table I says 8", c.Chip.NoCFlitBytes)
+	}
+	if c.Chip.GlobalMemBytes != 16<<20 {
+		t.Errorf("GlobalMemBytes = %d, Table I says 16 MB", c.Chip.GlobalMemBytes)
+	}
+	if c.Core.NumMacroGroups != 16 {
+		t.Errorf("NumMacroGroups = %d, Table I says 16", c.Core.NumMacroGroups)
+	}
+	if c.Core.MacrosPerGroup != 8 {
+		t.Errorf("MacrosPerGroup = %d, Table I says 8", c.Core.MacrosPerGroup)
+	}
+	if c.Core.LocalMemBytes != 512<<10 {
+		t.Errorf("LocalMemBytes = %d, Table I says 512 KB", c.Core.LocalMemBytes)
+	}
+	if c.Unit.MacroRows != 512 || c.Unit.MacroCols != 64 {
+		t.Errorf("macro = %dx%d, Table I says 512x64", c.Unit.MacroRows, c.Unit.MacroCols)
+	}
+	if c.Unit.ElementRows != 32 || c.Unit.ElementCols != 8 {
+		t.Errorf("element = %dx%d, Table I says 32x8", c.Unit.ElementRows, c.Unit.ElementCols)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDerivedCapacities(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.MacroWeightBytes(); got != 4096 {
+		t.Errorf("MacroWeightBytes = %d, want 4096 (512*64/8)", got)
+	}
+	if got := c.MacroChannels(); got != 8 {
+		t.Errorf("MacroChannels = %d, want 8", got)
+	}
+	if got := c.GroupChannels(); got != 64 {
+		t.Errorf("GroupChannels = %d, want 64", got)
+	}
+	if got := c.CoreWeightBytes(); got != 512<<10 {
+		t.Errorf("CoreWeightBytes = %d, want 512 KB", got)
+	}
+	if got := c.ChipWeightBytes(); got != 32<<20 {
+		t.Errorf("ChipWeightBytes = %d, want 32 MB", got)
+	}
+	if got := c.SegmentBytes(); got != 128<<10 {
+		t.Errorf("SegmentBytes = %d, want 128 KB", got)
+	}
+}
+
+func TestMVMTiming(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.MVMLatency(); got != 12 {
+		t.Errorf("MVMLatency = %d, want 12 (8 input bits + 4 tree stages)", got)
+	}
+	if got := c.MVMInterval(); got != 8 {
+		t.Errorf("MVMInterval = %d, want 8", got)
+	}
+	if got := c.MVMMACs(); got != 512*64 {
+		t.Errorf("MVMMACs = %d, want %d", got, 512*64)
+	}
+	if tops := c.PeakTOPS(); tops <= 0 {
+		t.Errorf("PeakTOPS = %f, want positive", tops)
+	}
+}
+
+func TestWithMacrosPerGroupScalesGroupWidth(t *testing.T) {
+	base := DefaultConfig()
+	groups := base.Core.NumMacroGroups
+	for _, m := range []int{4, 8, 12, 16} {
+		c := base.WithMacrosPerGroup(m)
+		if c.Core.NumMacroGroups != groups {
+			t.Errorf("mg=%d: group count changed to %d", m, c.Core.NumMacroGroups)
+		}
+		if c.GroupChannels() != m*8 {
+			t.Errorf("mg=%d: group channels = %d, want %d", m, c.GroupChannels(), m*8)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("mg=%d: invalid: %v", m, err)
+		}
+	}
+}
+
+func TestWithFlitBytes(t *testing.T) {
+	c := DefaultConfig().WithFlitBytes(16)
+	if c.Chip.NoCFlitBytes != 16 {
+		t.Errorf("NoCFlitBytes = %d, want 16", c.Chip.NoCFlitBytes)
+	}
+	if !strings.Contains(c.Name, "flit16") {
+		t.Errorf("Name = %q, want flit16 suffix", c.Name)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero cores", func(c *Config) { c.Chip.CoreRows = 0 }, "core mesh"},
+		{"zero flit", func(c *Config) { c.Chip.NoCFlitBytes = 0 }, "flit"},
+		{"zero hop", func(c *Config) { c.Chip.NoCHopLatency = 0 }, "hop"},
+		{"zero global", func(c *Config) { c.Chip.GlobalMemBytes = 0 }, "global memory"},
+		{"zero gbw", func(c *Config) { c.Chip.GlobalMemBandwidth = 0 }, "global memory bandwidth"},
+		{"zero groups", func(c *Config) { c.Core.NumMacroGroups = 0 }, "macro groups"},
+		{"zero macros", func(c *Config) { c.Core.MacrosPerGroup = 0 }, "macros per group"},
+		{"zero local", func(c *Config) { c.Core.LocalMemBytes = 0 }, "local memory"},
+		{"bad segments", func(c *Config) { c.Core.LocalMemSegments = 7 }, "segments"},
+		{"zero lbw", func(c *Config) { c.Core.LocalMemBandwidth = 0 }, "local memory bandwidth"},
+		{"too many gregs", func(c *Config) { c.Core.NumGRegs = 64 }, "general registers"},
+		{"zero sregs", func(c *Config) { c.Core.NumSRegs = 0 }, "special registers"},
+		{"zero lanes", func(c *Config) { c.Core.VectorLanes = 0 }, "vector lanes"},
+		{"zero macro rows", func(c *Config) { c.Unit.MacroRows = 0 }, "macro geometry"},
+		{"zero element rows", func(c *Config) { c.Unit.ElementRows = 0 }, "element geometry"},
+		{"untileable", func(c *Config) { c.Unit.ElementRows = 31 }, "tileable"},
+		{"bad weight bits", func(c *Config) { c.Unit.WeightBits = 7 }, "weight bits"},
+		{"zero input bits", func(c *Config) { c.Unit.InputBits = 0 }, "input bits"},
+		{"negative tree", func(c *Config) { c.Unit.AdderTreeDepth = -1 }, "adder tree"},
+		{"zero clock", func(c *Config) { c.ClockGHz = 0 }, "clock"},
+		{"negative energy", func(c *Config) { c.Energy.CIMMACpJ = -1 }, "energy parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid config")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arch.json")
+	c := DefaultConfig().WithMacrosPerGroup(4).WithFlitBytes(16)
+	if err := c.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got != c {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestParseAppliesDefaults(t *testing.T) {
+	got, err := Parse([]byte(`{"chip":{"noc_flit_bytes":16}}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Chip.NoCFlitBytes != 16 {
+		t.Errorf("NoCFlitBytes = %d, want 16", got.Chip.NoCFlitBytes)
+	}
+	if got.Core.NumMacroGroups != 16 {
+		t.Errorf("NumMacroGroups = %d, want default 16", got.Core.NumMacroGroups)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte(`{`)); err == nil {
+		t.Error("Parse accepted malformed JSON")
+	}
+	if _, err := Parse([]byte(`{"clock_ghz":-1}`)); err == nil {
+		t.Error("Parse accepted invalid config")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("Load accepted a missing file")
+	}
+}
+
+// TestCapacityScalesWithGeometry is a property test: chip weight capacity
+// must equal cores x groups x macros x macro bytes for any valid geometry.
+func TestCapacityScalesWithGeometry(t *testing.T) {
+	f := func(rows, cols, groups, macros uint8) bool {
+		c := DefaultConfig()
+		c.Chip.CoreRows = int(rows%8) + 1
+		c.Chip.CoreCols = int(cols%8) + 1
+		c.Core.NumMacroGroups = int(groups%32) + 1
+		c.Core.MacrosPerGroup = int(macros%16) + 1
+		want := c.NumCores() * c.Core.NumMacroGroups * c.Core.MacrosPerGroup * c.MacroWeightBytes()
+		return c.ChipWeightBytes() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package compiler
+
+import "math/bits"
+
+// bmask is a 128-bit set over condensed units, the state-compression
+// representation of dependency closures in Alg. 1.
+type bmask struct{ lo, hi uint64 }
+
+func bit(i int) bmask {
+	if i < 64 {
+		return bmask{lo: 1 << uint(i)}
+	}
+	return bmask{hi: 1 << uint(i-64)}
+}
+
+func (m bmask) or(o bmask) bmask  { return bmask{m.lo | o.lo, m.hi | o.hi} }
+func (m bmask) and(o bmask) bmask { return bmask{m.lo & o.lo, m.hi & o.hi} }
+
+// diff returns the set difference m \ o.
+func (m bmask) diff(o bmask) bmask { return bmask{m.lo &^ o.lo, m.hi &^ o.hi} }
+
+// contains reports o ⊆ m.
+func (m bmask) contains(o bmask) bool { return m.lo&o.lo == o.lo && m.hi&o.hi == o.hi }
+
+func (m bmask) has(i int) bool {
+	if i < 64 {
+		return m.lo&(1<<uint(i)) != 0
+	}
+	return m.hi&(1<<uint(i-64)) != 0
+}
+
+func (m bmask) empty() bool { return m.lo == 0 && m.hi == 0 }
+
+func (m bmask) count() int { return bits.OnesCount64(m.lo) + bits.OnesCount64(m.hi) }
+
+// members returns the set's elements in ascending order.
+func (m bmask) members() []int {
+	out := make([]int, 0, m.count())
+	for w, word := range [2]uint64{m.lo, m.hi} {
+		base := w * 64
+		for word != 0 {
+			i := bits.TrailingZeros64(word)
+			out = append(out, base+i)
+			word &^= 1 << uint(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package compiler
+
+import (
+	"cimflow/internal/arch"
+	"cimflow/internal/model"
+)
+
+// costModel estimates execution cycles of operators and stages. It guides
+// the CG-level decisions (partitioning and duplication); ground truth comes
+// from the simulator. The model accounts for CIM issue bandwidth, vector
+// unit throughput, per-row staging/transfer traffic and the shared global
+// memory port that serializes weight loading — the dominant terms of the
+// architectures under study.
+type costModel struct {
+	g   *model.Graph
+	cfg *arch.Config
+}
+
+// mvmIssueCycles is the initiation interval of one MVM, including input
+// streaming from local memory.
+func (cm *costModel) mvmIssueCycles(tileRows int) float64 {
+	ii := cm.cfg.MVMInterval()
+	stream := (tileRows + cm.cfg.Core.LocalMemBandwidth - 1) / cm.cfg.Core.LocalMemBandwidth
+	if stream > ii {
+		ii = stream
+	}
+	return float64(ii)
+}
+
+// vecCycles estimates vector-unit cycles to process n lane-elements.
+func (cm *costModel) vecCycles(n int) float64 {
+	return float64(n) / float64(cm.cfg.Core.VectorLanes)
+}
+
+// auxCyclesPerOutRow estimates the per-output-row vector and transfer load
+// of an auxiliary (non-MVM) operator.
+func (cm *costModel) auxCyclesPerOutRow(n *model.Node) float64 {
+	in := cm.g.InShape(n)
+	out := n.OutShape
+	switch n.Op {
+	case model.OpDWConv:
+		return cm.vecCycles(n.KH * n.KW * out.W * out.C)
+	case model.OpMaxPool, model.OpAvgPool:
+		return cm.vecCycles(n.KH * n.KW * out.W * out.C)
+	case model.OpReLU, model.OpReLU6, model.OpSigmoid, model.OpSiLU:
+		return cm.vecCycles(out.W * out.C)
+	case model.OpAdd, model.OpMul:
+		return cm.vecCycles(2 * out.W * out.C)
+	case model.OpGlobalAvgPool:
+		return cm.vecCycles(in.W * in.C)
+	}
+	return 0
+}
+
+// unitCost estimates one condensed unit's makespan on its cluster, given a
+// replica count: the per-row maximum of CIM issue time, vector work and
+// transfer traffic, times the rows each replica owns, plus weight-swap
+// reload time for non-resident operators.
+func (cm *costModel) unitCost(u *unit, replicas int) float64 {
+	anchor := u.anchor
+	out := anchor.OutShape
+	in := cm.g.InShape(anchor)
+	bw := float64(cm.cfg.Core.LocalMemBandwidth)
+
+	var cimPerRow, vecPerRow, xferPerRow float64
+	switch anchor.Op {
+	case model.OpConv, model.OpDense:
+		gm := geometry(cm.g, cm.cfg, anchor)
+		ctPerCore := gm.chanTilesPerCore
+		if ctPerCore == 0 {
+			ctPerCore = 1
+		}
+		// Shards split channel tiles; the busiest core issues per pixel one
+		// MVM per resident (row tile x its channel tiles).
+		ctOnCore := (gm.chanTiles + gm.minCores - 1) / gm.minCores
+		if ctOnCore > ctPerCore {
+			ctOnCore = ctPerCore
+		}
+		var perPixel float64
+		for _, t := range gm.tiles {
+			perPixel += cm.mvmIssueCycles(t.Rows) * float64(ctOnCore)
+		}
+		perPixel *= float64(gm.passes)
+		cimPerRow = perPixel * float64(out.W)
+		// Input staging: k rows of kw*cin copied per output row.
+		xferPerRow = float64(anchor.KH*gm.segBytes) / bw
+		if anchor.Op == model.OpDense {
+			// Gathering the whole input once; reloading weights per pass
+			// through the shared global port.
+			xferPerRow = float64(gm.rows) / bw
+			reload := float64(gm.passes-1) * float64(cm.cfg.CoreWeightBytes()) /
+				float64(cm.cfg.Chip.GlobalMemBandwidth)
+			xferPerRow += reload
+		}
+		// Receiving the input rows from producers.
+		xferPerRow += float64(in.W*in.C) / bw
+	case model.OpDWConv:
+		vecPerRow = cm.auxCyclesPerOutRow(anchor)
+		xferPerRow = float64(in.W*in.C) / bw
+	}
+	// Auxiliary operators grouped on the same cores share the vector unit.
+	for _, n := range u.nodes[1:] {
+		vecPerRow += cm.auxCyclesPerOutRow(n)
+	}
+	rows := (out.H + replicas - 1) / replicas
+	perRow := cimPerRow
+	if vecPerRow > perRow {
+		perRow = vecPerRow
+	}
+	if xferPerRow > perRow {
+		perRow = xferPerRow
+	}
+	return float64(rows) * perRow
+}
+
+// unitMinCores returns the minimum cores for one replica of the unit.
+func (cm *costModel) unitMinCores(u *unit) int {
+	switch u.anchor.Op {
+	case model.OpConv, model.OpDense:
+		return geometry(cm.g, cm.cfg, u.anchor).minCores
+	}
+	return 1 // depthwise and aux run on one core minimum
+}
+
+// unitMaxReplicas bounds duplication by the output rows available to split.
+func (cm *costModel) unitMaxReplicas(u *unit) int {
+	return u.anchor.OutShape.H
+}
+
+// weightLoadCycles estimates the stage's weight-loading time through the
+// shared global memory port (the chip-level serialization bottleneck).
+func (cm *costModel) weightLoadCycles(units []*unit, replicas []int) float64 {
+	var bytes float64
+	for i, u := range units {
+		bytes += float64(u.weightBytes) * float64(replicas[i])
+	}
+	return bytes / float64(cm.cfg.Chip.GlobalMemBandwidth)
+}
+
+// boundaryCycles estimates stage-boundary activation traffic: tensors
+// produced outside the stage (or the graph input) must be fetched from
+// global memory by every consuming unit.
+func (cm *costModel) boundaryCycles(units []*unit, inStage bmask) float64 {
+	var bytes float64
+	for _, u := range units {
+		for _, n := range u.nodes {
+			for _, inID := range n.Inputs {
+				src := cm.g.Nodes[inID]
+				for src.Op == model.OpFlatten {
+					src = cm.g.Nodes[src.Inputs[0]]
+				}
+				// Find the producing unit; input node has none.
+				prodUnit := -1
+				for _, v := range units {
+					for _, vn := range v.nodes {
+						if vn.ID == src.ID {
+							prodUnit = v.id
+						}
+					}
+				}
+				if prodUnit < 0 || !inStage.has(prodUnit) {
+					bytes += float64(src.OutShape.Elems())
+				}
+			}
+		}
+	}
+	return 2 * bytes / float64(cm.cfg.Chip.GlobalMemBandwidth)
+}

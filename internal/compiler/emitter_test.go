@@ -1,0 +1,203 @@
+package compiler
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/isa"
+	"cimflow/internal/sim"
+)
+
+// execEmitter runs an emitter-built fragment on a one-core chip and returns
+// the 32-bit word at local address 256.
+func execEmitter(t *testing.T, build func(e *emitter)) int32 {
+	t.Helper()
+	e := newEmitter()
+	build(e)
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	e.emit(isa.Halt())
+	cfg := arch.DefaultConfig()
+	cfg.Chip.CoreRows, cfg.Chip.CoreCols = 1, 1
+	ch, err := sim.NewChip(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.LoadProgram(sim.Program{Core: 0, Code: e.code}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := ch.ReadLocal(0, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int32(binary.LittleEndian.Uint32(mem))
+}
+
+// storeResult emits a store of reg to local 256.
+func storeResult(e *emitter, reg uint8) {
+	addr := e.constReg(256)
+	e.emit(isa.Store(reg, addr, 0))
+	e.release(addr)
+}
+
+func TestEmitterLoopCountsExactly(t *testing.T) {
+	got := execEmitter(t, func(e *emitter) {
+		acc := e.constReg(0)
+		e.loop(37, func(uint8) {
+			e.emit(isa.ALUI(isa.FnAdd, acc, acc, 1))
+		})
+		storeResult(e, acc)
+		e.release(acc)
+	})
+	if got != 37 {
+		t.Errorf("loop body ran %d times, want 37", got)
+	}
+}
+
+func TestEmitterLoopSingleIteration(t *testing.T) {
+	got := execEmitter(t, func(e *emitter) {
+		acc := e.constReg(0)
+		e.loop(1, func(uint8) { e.emit(isa.ALUI(isa.FnAdd, acc, acc, 5)) })
+		storeResult(e, acc)
+		e.release(acc)
+	})
+	if got != 5 {
+		t.Errorf("single-iteration loop produced %d, want 5", got)
+	}
+}
+
+func TestEmitterWhileLT(t *testing.T) {
+	got := execEmitter(t, func(e *emitter) {
+		i := e.constReg(3)
+		n := e.constReg(10)
+		acc := e.constReg(0)
+		e.whileLT(i, n, func() {
+			e.emit(isa.ALU(isa.FnAdd, acc, acc, i))
+			e.emit(isa.ALUI(isa.FnAdd, i, i, 1))
+		})
+		storeResult(e, acc)
+		e.release(i, n, acc)
+	})
+	if got != 3+4+5+6+7+8+9 {
+		t.Errorf("whileLT sum = %d, want 42", got)
+	}
+}
+
+func TestEmitterWhileLTZeroTrip(t *testing.T) {
+	got := execEmitter(t, func(e *emitter) {
+		i := e.constReg(10)
+		n := e.constReg(10)
+		acc := e.constReg(99)
+		e.whileLT(i, n, func() {
+			e.emit(isa.ALUI(isa.FnAdd, acc, acc, 1))
+		})
+		storeResult(e, acc)
+		e.release(i, n, acc)
+	})
+	if got != 99 {
+		t.Errorf("zero-trip whileLT executed its body: %d", got)
+	}
+}
+
+func TestEmitterIfLTBothArms(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, want int32
+	}{{1, 2, 111}, {2, 1, 222}, {5, 5, 222}} {
+		got := execEmitter(t, func(e *emitter) {
+			a := e.constReg(tc.a)
+			b := e.constReg(tc.b)
+			r := e.alloc()
+			e.ifLT(a, b,
+				func() { e.li(r, 111) },
+				func() { e.li(r, 222) })
+			storeResult(e, r)
+			e.release(a, b, r)
+		})
+		if got != tc.want {
+			t.Errorf("ifLT(%d, %d) took arm %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEmitterMulConst(t *testing.T) {
+	for _, k := range []int32{0, 1, 2, 8, 1024, 3, 7, 100, 14464} {
+		got := execEmitter(t, func(e *emitter) {
+			src := e.constReg(13)
+			dst := e.alloc()
+			e.mulConst(dst, src, k)
+			storeResult(e, dst)
+			e.release(src, dst)
+		})
+		if got != 13*k {
+			t.Errorf("mulConst(13, %d) = %d, want %d", k, got, 13*k)
+		}
+	}
+}
+
+func TestEmitterAddConstLarge(t *testing.T) {
+	got := execEmitter(t, func(e *emitter) {
+		src := e.constReg(1)
+		dst := e.alloc()
+		e.addConst(dst, src, 1_000_000)
+		storeResult(e, dst)
+		e.release(src, dst)
+	})
+	if got != 1_000_001 {
+		t.Errorf("addConst large = %d", got)
+	}
+}
+
+func TestEmitterSRegCacheElidesWrites(t *testing.T) {
+	e := newEmitter()
+	e.setSReg(isa.SRegQuantMul, 7)
+	n1 := len(e.code)
+	e.setSReg(isa.SRegQuantMul, 7) // cached: no new code
+	if len(e.code) != n1 {
+		t.Error("redundant SC_MTS emitted")
+	}
+	e.setSReg(isa.SRegQuantMul, 8) // different value: re-emitted
+	if len(e.code) == n1 {
+		t.Error("changed sreg value not emitted")
+	}
+	e.invalidateSRegs()
+	e.setSReg(isa.SRegQuantMul, 8) // cache cleared: re-emitted
+	if len(e.code) == n1 {
+		t.Error("sreg write after invalidation not emitted")
+	}
+}
+
+func TestEmitterRegisterExhaustionFails(t *testing.T) {
+	e := newEmitter()
+	for i := 0; i < 27; i++ {
+		e.alloc()
+	}
+	e.alloc()
+	if e.err == nil {
+		t.Error("register exhaustion not reported")
+	}
+}
+
+func TestPoolDedup(t *testing.T) {
+	p := newPool()
+	a := p.table([]byte{1, 2, 3})
+	b := p.table([]byte{1, 2, 3})
+	c := p.table([]byte{4, 5, 6})
+	if a != b {
+		t.Error("identical tables not deduplicated")
+	}
+	if a == c {
+		t.Error("distinct tables share an address")
+	}
+	w := p.table32([]int32{-1, 70000})
+	if w%4 != 0 {
+		t.Errorf("word table at unaligned address %d", w)
+	}
+	if int(p.size()) < 3+8 {
+		t.Errorf("pool size %d too small", p.size())
+	}
+}

@@ -1,0 +1,220 @@
+package compiler
+
+import (
+	"fmt"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/model"
+	"cimflow/internal/sim"
+	"cimflow/internal/tensor"
+)
+
+// globalLayout assigns the global memory map: the network input, per-node
+// weight regions (pre-tiled into macro-group blocks), activation buffers
+// for stage-crossing tensors, and per-core constant pools.
+type globalLayout struct {
+	inputAddr  int32
+	inputBytes int32
+	weightAddr map[int]int32 // node id -> region base
+	actAddr    map[int]int32 // node id -> activation buffer base
+	poolAddr   []int32       // core id -> constant pool base (-1 none)
+	size       int32
+}
+
+func (l *globalLayout) alloc(n int32) int32 {
+	// 64-byte alignment keeps transfers flit-aligned.
+	l.size = (l.size + 63) &^ 63
+	addr := l.size
+	l.size += n
+	return addr
+}
+
+// weightRegionBytes returns the pre-tiled weight region size of a node.
+func weightRegionBytes(g *model.Graph, cfg *arch.Config, n *model.Node) int32 {
+	switch n.Op {
+	case model.OpConv, model.OpDense:
+		gm := geometry(g, cfg, n)
+		var total int32
+		gc := cfg.GroupChannels()
+		for ct := 0; ct < gm.chanTiles; ct++ {
+			chans := gc
+			if (ct+1)*gc > n.Cout {
+				chans = n.Cout - ct*gc
+			}
+			for _, t := range gm.tiles {
+				total += int32(t.Rows * chans)
+			}
+		}
+		return total
+	case model.OpDWConv:
+		return int32(n.KH * n.KW * n.Cout)
+	}
+	return 0
+}
+
+// weightBlockOffset returns the offset of the (chanTile, rowTile) block
+// within a node's pre-tiled weight region.
+func weightBlockOffset(gm *mvmGeom, gc int, ct, tile int) int32 {
+	var off int32
+	cout := gm.node.Cout
+	chansOf := func(c int) int {
+		if (c+1)*gc > cout {
+			return cout - c*gc
+		}
+		return gc
+	}
+	for c := 0; c < ct; c++ {
+		off += int32(gm.rows * chansOf(c))
+	}
+	for t := 0; t < tile; t++ {
+		off += int32(gm.tiles[t].Rows * chansOf(ct))
+	}
+	return off
+}
+
+// buildLayout allocates the global memory map for a plan.
+func buildLayout(g *model.Graph, cfg *arch.Config, plan *Plan) *globalLayout {
+	l := &globalLayout{
+		weightAddr: map[int]int32{},
+		actAddr:    map[int]int32{},
+		poolAddr:   make([]int32, cfg.NumCores()),
+	}
+	in := g.Nodes[0].OutShape
+	l.inputBytes = int32(in.Elems())
+	l.inputAddr = l.alloc(l.inputBytes)
+	for _, st := range plan.Stages {
+		for _, op := range st.Ops {
+			if wb := weightRegionBytes(g, cfg, op.Node); wb > 0 {
+				l.weightAddr[op.Node.ID] = l.alloc(wb)
+			}
+			if op.GlobalOut == -2 {
+				op.GlobalOut = int(l.alloc(int32(op.Node.OutShape.Elems())))
+				l.actAddr[op.Node.ID] = int32(op.GlobalOut)
+			}
+		}
+	}
+	return l
+}
+
+// pieceOffset returns where a (replica, shard) piece lives within a node's
+// activation buffer: replicas are row-major blocks, shards sub-blocks.
+func pieceOffset(op *OpPlan, rep, sh int) int32 {
+	out := op.Node.OutShape
+	r := op.Replicas[rep]
+	rows := int32(r.RowEnd - r.RowStart)
+	return int32(r.RowStart)*int32(out.W*out.C) +
+		rows*int32(out.W)*int32(r.Shards[sh].ChanStart)
+}
+
+// Compiled is the result of compilation: per-core programs plus everything
+// needed to initialize and interpret a simulation.
+type Compiled struct {
+	Cfg      *arch.Config
+	Graph    *model.Graph
+	Plan     *Plan
+	Programs []sim.Program
+
+	layout   *globalLayout
+	geoms    map[int]mvmGeom
+	poolSegs []sim.GlobalSegment
+	// OutputNode is the graph node whose activation buffer holds the
+	// network result.
+	OutputNode int
+}
+
+// GlobalBytes returns the global memory footprint the simulation needs.
+func (c *Compiled) GlobalBytes() int { return int(c.layout.size) }
+
+// InstructionCount sums all program lengths.
+func (c *Compiled) InstructionCount() int {
+	var n int
+	for _, p := range c.Programs {
+		n += len(p.Code)
+	}
+	return n
+}
+
+// GlobalInit builds the global-memory initialization: the input tensor,
+// every node's weights (pre-tiled for CIM loading), and the per-core
+// constant pools.
+func (c *Compiled) GlobalInit(ws model.WeightStore, input tensor.Tensor) ([]sim.GlobalSegment, error) {
+	in := c.Graph.Nodes[0].OutShape
+	if input.Len() != in.Elems() {
+		return nil, fmt.Errorf("compiler: input has %d elements, graph needs %d", input.Len(), in.Elems())
+	}
+	segs := []sim.GlobalSegment{{Addr: int(c.layout.inputAddr), Data: int8ToBytes(input.Data)}}
+	gc := c.Cfg.GroupChannels()
+	for id, base := range c.layout.weightAddr {
+		n := c.Graph.Node(id)
+		w := ws.Weights(id)
+		if w == nil {
+			return nil, fmt.Errorf("compiler: no weights for node %s", n.Name)
+		}
+		switch n.Op {
+		case model.OpConv, model.OpDense:
+			gm := c.geoms[id]
+			data := make([]byte, weightRegionBytes(c.Graph, c.Cfg, n))
+			pos := 0
+			for ct := 0; ct < gm.chanTiles; ct++ {
+				chans := gc
+				if (ct+1)*gc > n.Cout {
+					chans = n.Cout - ct*gc
+				}
+				rowBase := 0
+				for _, t := range gm.tiles {
+					for r := 0; r < t.Rows; r++ {
+						srcRow := rowBase + r
+						for ch := 0; ch < chans; ch++ {
+							data[pos] = byte(w[srcRow*n.Cout+ct*gc+ch])
+							pos++
+						}
+					}
+					rowBase += t.Rows
+				}
+			}
+			segs = append(segs, sim.GlobalSegment{Addr: int(base), Data: data})
+		case model.OpDWConv:
+			segs = append(segs, sim.GlobalSegment{Addr: int(base), Data: int8ToBytes(w)})
+		}
+	}
+	return append(segs, c.poolSegs...), nil
+}
+
+// ReadOutput reassembles the network output tensor from the piece-structured
+// activation buffer in global memory.
+func (c *Compiled) ReadOutput(read func(addr, size int) ([]byte, error)) (tensor.Tensor, error) {
+	op := c.Plan.opPlanByNode(c.OutputNode)
+	if op == nil || op.GlobalOut < 0 {
+		return tensor.Tensor{}, fmt.Errorf("compiler: output node %d has no global buffer", c.OutputNode)
+	}
+	out := op.Node.OutShape
+	t := tensor.New(out.H, out.W, out.C)
+	base := op.GlobalOut
+	for ri, rep := range op.Replicas {
+		for si, sh := range rep.Shards {
+			rows := rep.RowEnd - rep.RowStart
+			data, err := read(base+int(pieceOffset(op, ri, si)), rows*out.W*sh.ChanCount)
+			if err != nil {
+				return tensor.Tensor{}, err
+			}
+			pos := 0
+			for y := rep.RowStart; y < rep.RowEnd; y++ {
+				for x := 0; x < out.W; x++ {
+					for ch := 0; ch < sh.ChanCount; ch++ {
+						t.Set(y, x, sh.ChanStart+ch, int8(data[pos]))
+						pos++
+					}
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+func int8ToBytes(v []int8) []byte {
+	out := make([]byte, len(v))
+	for i, x := range v {
+		out[i] = byte(x)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+	"cimflow/internal/report"
+)
+
+// Fig5Row is one bar of Fig. 5: a (model, strategy) pair with speed and
+// energy normalized to the generic-mapping baseline.
+type Fig5Row struct {
+	Model      string
+	Strategy   compiler.Strategy
+	Cycles     int64
+	EnergyMJ   float64
+	NormSpeed  float64 // generic cycles / cycles (higher is better)
+	NormEnergy float64 // energy / generic energy (lower is better)
+}
+
+// Fig5Models are the paper's four benchmark networks.
+var Fig5Models = []string{"resnet18", "vgg19", "mobilenetv2", "efficientnetb0"}
+
+// Fig5Strategies are the three compilation strategies compared.
+var Fig5Strategies = []compiler.Strategy{
+	compiler.StrategyGeneric, compiler.StrategyDuplication, compiler.StrategyDP,
+}
+
+// RunFig5 reproduces the compilation-optimization comparison of Fig. 5 on
+// the given architecture.
+func RunFig5(cfg arch.Config, models []string) ([]Fig5Row, error) {
+	if len(models) == 0 {
+		models = Fig5Models
+	}
+	var rows []Fig5Row
+	for _, name := range models {
+		g := model.Zoo(name)
+		if g == nil {
+			return nil, fmt.Errorf("core: unknown model %q", name)
+		}
+		var base *Result
+		for _, s := range Fig5Strategies {
+			res, err := Run(g, cfg, Options{Strategy: s, Seed: 1})
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s/%v: %w", name, s, err)
+			}
+			if s == compiler.StrategyGeneric {
+				base = res
+			}
+			rows = append(rows, Fig5Row{
+				Model:      name,
+				Strategy:   s,
+				Cycles:     res.Stats.Cycles,
+				EnergyMJ:   res.EnergyMJ,
+				NormSpeed:  float64(base.Stats.Cycles) / float64(res.Stats.Cycles),
+				NormEnergy: res.EnergyMJ / base.EnergyMJ,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig5Table renders Fig. 5 rows as the printed series.
+func Fig5Table(rows []Fig5Row) *report.Table {
+	t := report.New("Fig. 5: normalized speed and energy by compilation strategy",
+		"model", "strategy", "cycles", "norm_speed", "norm_energy", "energy_mJ")
+	for _, r := range rows {
+		t.Add(r.Model, r.Strategy.String(), r.Cycles, r.NormSpeed, r.NormEnergy, r.EnergyMJ)
+	}
+	return t
+}
+
+// Fig6Row is one configuration point of Fig. 6: energy breakdown and
+// throughput for an (MG size, flit width) architecture variant.
+type Fig6Row struct {
+	Model      string
+	MGSize     int // macros per group
+	FlitBytes  int
+	TOPS       float64
+	LocalMemMJ float64
+	ComputeMJ  float64
+	NoCMJ      float64
+	TotalMJ    float64
+	Cycles     int64
+	strategy   compiler.Strategy
+}
+
+// Fig6MGSizes and Fig6Flits are the sweep axes of Fig. 6 / Fig. 7.
+var (
+	Fig6MGSizes = []int{4, 8, 12, 16}
+	Fig6Flits   = []int{8, 16}
+	Fig6Models  = []string{"resnet18", "efficientnetb0"}
+)
+
+// RunFig6 reproduces the architectural exploration of Fig. 6: the energy
+// breakdown (local memory / compute / NoC) and throughput across MG sizes
+// and NoC flit widths, compiled with the generic mapping strategy.
+func RunFig6(base arch.Config, models []string) ([]Fig6Row, error) {
+	return runSweep(base, models, []compiler.Strategy{compiler.StrategyGeneric})
+}
+
+// Fig7Row is one point of the Fig. 7 design-space scatter.
+type Fig7Row struct {
+	Model     string
+	MGSize    int
+	FlitBytes int
+	Strategy  compiler.Strategy
+	TOPS      float64
+	EnergyMJ  float64
+}
+
+// RunFig7 reproduces the software/hardware co-design space of Fig. 7:
+// the same hardware sweep under both the generic and the DP-optimized
+// compilation strategies.
+func RunFig7(base arch.Config, models []string) ([]Fig7Row, error) {
+	rows6, err := runSweep(base, models, []compiler.Strategy{
+		compiler.StrategyGeneric, compiler.StrategyDP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for _, r := range rows6 {
+		rows = append(rows, Fig7Row{
+			Model:     r.Model,
+			MGSize:    r.MGSize,
+			FlitBytes: r.FlitBytes,
+			Strategy:  r.strategy,
+			TOPS:      r.TOPS,
+			EnergyMJ:  r.TotalMJ,
+		})
+	}
+	return rows, nil
+}
+
+func runSweep(base arch.Config, models []string, strategies []compiler.Strategy) ([]Fig6Row, error) {
+	if len(models) == 0 {
+		models = Fig6Models
+	}
+	var rows []Fig6Row
+	for _, name := range models {
+		g := model.Zoo(name)
+		if g == nil {
+			return nil, fmt.Errorf("core: unknown model %q", name)
+		}
+		for _, strat := range strategies {
+			for _, mg := range Fig6MGSizes {
+				for _, flit := range Fig6Flits {
+					cfg := base.WithMacrosPerGroup(mg).WithFlitBytes(flit)
+					res, err := Run(g, cfg, Options{Strategy: strat, Seed: 1})
+					if err != nil {
+						return nil, fmt.Errorf("sweep %s mg=%d flit=%d %v: %w", name, mg, flit, strat, err)
+					}
+					rows = append(rows, Fig6Row{
+						Model:      name,
+						MGSize:     mg,
+						FlitBytes:  flit,
+						TOPS:       res.TOPS,
+						LocalMemMJ: res.Stats.Energy.LocalMemPJ / 1e9,
+						ComputeMJ:  res.Stats.Energy.ComputePJ() / 1e9,
+						NoCMJ:      res.Stats.Energy.NoCPJ / 1e9,
+						TotalMJ:    res.EnergyMJ,
+						Cycles:     res.Stats.Cycles,
+						strategy:   strat,
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Table renders Fig. 6 rows.
+func Fig6Table(rows []Fig6Row) *report.Table {
+	t := report.New("Fig. 6: energy breakdown and throughput vs MG size and NoC flit width (generic mapping)",
+		"model", "mg_size", "flit_B", "tops", "E_localmem_mJ", "E_compute_mJ", "E_noc_mJ", "E_total_mJ")
+	for _, r := range rows {
+		t.Add(r.Model, r.MGSize, r.FlitBytes, r.TOPS, r.LocalMemMJ, r.ComputeMJ, r.NoCMJ, r.TotalMJ)
+	}
+	return t
+}
+
+// Fig7Table renders Fig. 7 rows.
+func Fig7Table(rows []Fig7Row) *report.Table {
+	t := report.New("Fig. 7: SW/HW design space (energy vs throughput by MG size, flit width, strategy)",
+		"model", "mg_size", "flit_B", "strategy", "tops", "energy_mJ")
+	for _, r := range rows {
+		t.Add(r.Model, r.MGSize, r.FlitBytes, r.Strategy.String(), r.TOPS, r.EnergyMJ)
+	}
+	return t
+}

@@ -1,0 +1,127 @@
+// Package core is the integrated CIMFlow workflow: it couples the compiler
+// and the cycle-accurate simulator behind one entry point, runs functional
+// validation against the golden tensor library, and drives the experiment
+// sweeps that regenerate the paper's figures.
+package core
+
+import (
+	"fmt"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+	"cimflow/internal/sim"
+	"cimflow/internal/tensor"
+)
+
+// Result is one complete compile-and-simulate run.
+type Result struct {
+	Compiled *compiler.Compiled
+	Stats    *sim.Stats
+	Output   tensor.Tensor
+	// Derived headline metrics at the configured clock.
+	Seconds    float64
+	TOPS       float64
+	EnergyMJ   float64
+	Throughput float64 // inferences per second
+}
+
+// Options configures a run.
+type Options struct {
+	Strategy compiler.Strategy
+	Seed     uint64
+	// CycleLimit overrides the simulator's runaway guard (0 = default).
+	CycleLimit int64
+	// FullBufferLimit forwards the compiler's streaming threshold override.
+	FullBufferLimit int32
+}
+
+// Run compiles the model for the architecture and executes it on the
+// simulator with deterministic synthetic weights and input.
+func Run(g *model.Graph, cfg arch.Config, opt Options) (*Result, error) {
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{
+		Strategy:        opt.Strategy,
+		FullBufferLimit: opt.FullBufferLimit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %s: %w", g.Name, err)
+	}
+	ws := model.NewSeededWeights(g, opt.Seed)
+	input := model.SeededInput(g.Nodes[0].OutShape, opt.Seed+1)
+	return Simulate(compiled, ws, input, opt)
+}
+
+// Simulate executes an already-compiled model with the given weights and
+// input tensor.
+func Simulate(compiled *compiler.Compiled, ws model.WeightStore, input tensor.Tensor, opt Options) (*Result, error) {
+	cfg := *compiled.Cfg
+	chip, err := sim.NewChip(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	chip.EnsureGlobal(compiled.GlobalBytes())
+	if opt.CycleLimit != 0 {
+		chip.CycleLimit = opt.CycleLimit
+	}
+	segs, err := compiled.GlobalInit(ws, input)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		if err := chip.InitGlobal(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range compiled.Programs {
+		if err := chip.LoadProgram(p); err != nil {
+			return nil, err
+		}
+	}
+	stats, err := chip.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: simulating %s: %w", compiled.Graph.Name, err)
+	}
+	out, err := compiled.ReadOutput(chip.ReadGlobal)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Compiled: compiled,
+		Stats:    stats,
+		Output:   out,
+		Seconds:  stats.Seconds(cfg.ClockGHz),
+		TOPS:     stats.TOPS(cfg.ClockGHz),
+		EnergyMJ: stats.EnergyMJ(),
+	}
+	if res.Seconds > 0 {
+		res.Throughput = 1 / res.Seconds
+	}
+	return res, nil
+}
+
+// Validate runs the model end to end and compares the simulated output with
+// the golden reference executor; it returns the number of mismatching
+// elements (0 = exact functional match).
+func Validate(g *model.Graph, cfg arch.Config, opt Options) (int, error) {
+	res, err := Run(g, cfg, opt)
+	if err != nil {
+		return -1, err
+	}
+	ws := model.NewSeededWeights(g, opt.Seed)
+	input := model.SeededInput(g.Nodes[0].OutShape, opt.Seed+1)
+	refs, err := model.Execute(g, input, ws)
+	if err != nil {
+		return -1, err
+	}
+	ref := refs[res.Compiled.OutputNode]
+	if ref.Len() != res.Output.Len() {
+		return -1, fmt.Errorf("core: output size %d != reference %d", res.Output.Len(), ref.Len())
+	}
+	mismatches := 0
+	for i := range ref.Data {
+		if ref.Data[i] != res.Output.Data[i] {
+			mismatches++
+		}
+	}
+	return mismatches, nil
+}

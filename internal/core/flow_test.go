@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+// TestTinyModelsFunctional is the keystone end-to-end test: compile small
+// networks covering dense, conv, pooling and residual paths, run them on
+// the simulator, and demand bit-exact agreement with the golden reference.
+func TestTinyModelsFunctional(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	for _, name := range []string{"tinymlp", "tinycnn", "tinyresnet", "tinymobile", "tinyse"} {
+		for _, s := range []compiler.Strategy{compiler.StrategyGeneric, compiler.StrategyDuplication, compiler.StrategyDP} {
+			mism, err := Validate(model.Zoo(name), cfg, Options{Strategy: s, Seed: 11})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, s, err)
+			}
+			if mism != 0 {
+				t.Errorf("%s/%v: %d mismatching output elements", name, s, mism)
+			}
+		}
+	}
+}

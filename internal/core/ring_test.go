@@ -1,0 +1,28 @@
+package core
+
+import (
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+// TestRingModeFunctional forces ring-mode input streaming on the tiny
+// networks and demands bit-exact outputs.
+func TestRingModeFunctional(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	for _, name := range []string{"tinycnn", "tinyresnet"} {
+		mism, err := Validate(model.Zoo(name), cfg, Options{
+			Strategy:        compiler.StrategyGeneric,
+			Seed:            5,
+			FullBufferLimit: 64, // force rings everywhere possible
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mism != 0 {
+			t.Errorf("%s: %d mismatches", name, mism)
+		}
+	}
+}

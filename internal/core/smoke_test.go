@@ -1,0 +1,19 @@
+package core
+
+import (
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+func TestSmokeResNet(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	res, err := Run(model.ResNet18(), cfg, Options{Strategy: compiler.StrategyGeneric, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("resnet18 generic: cycles=%d instr=%d macs=%d tops=%.3f energy=%.4f mJ stages=%d",
+		res.Stats.Cycles, res.Stats.Instructions, res.Stats.MACs, res.TOPS, res.EnergyMJ, len(res.Compiled.Plan.Stages))
+}

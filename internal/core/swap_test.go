@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+// TestMultiPassConvFunctional squeezes the CIM geometry so ordinary
+// convolutions exceed core residency and must weight-swap, then demands
+// bit-exact outputs.
+func TestMultiPassConvFunctional(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.Unit.MacroRows = 64
+	cfg.Core.NumMacroGroups = 2
+	cfg.Core.MacrosPerGroup = 2
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tinycnn", "tinyresnet"} {
+		mism, err := Validate(model.Zoo(name), cfg, Options{Strategy: compiler.StrategyGeneric, Seed: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mism != 0 {
+			t.Errorf("%s: %d mismatches", name, mism)
+		}
+	}
+}

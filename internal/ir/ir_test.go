@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"testing"
+
+	"cimflow/internal/isa"
+)
+
+func asm(t *testing.T, src string) []isa.Instruction {
+	t.Helper()
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestCompactRetargetsBranches(t *testing.T) {
+	prog := asm(t, `
+		NOP
+		SC_ADDI G1, G0, 3
+	loop:	NOP
+		SC_ADDI G1, G1, -1
+		NOP
+		BNE G1, G0, %loop
+		HALT
+	`)
+	out, removed, err := Compact(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Errorf("removed %d NOPs, want 3", removed)
+	}
+	if len(out) != 4 {
+		t.Fatalf("compacted to %d instructions, want 4", len(out))
+	}
+	// The branch must target the (removed NOP's successor) SC_ADDI.
+	br := out[2]
+	if br.Op != isa.OpBNE {
+		t.Fatalf("instruction 2 is %v, want BNE", br.Op)
+	}
+	if got := 2 + 1 + int(br.Imm); got != 1 {
+		t.Errorf("branch targets %d, want 1", got)
+	}
+}
+
+func TestCompactRejectsWildBranch(t *testing.T) {
+	prog := []isa.Instruction{isa.Jmp(100)}
+	if _, _, err := Compact(prog); err == nil {
+		t.Error("Compact accepted an out-of-range branch")
+	}
+}
+
+func TestDeadWriteElimination(t *testing.T) {
+	prog := asm(t, `
+		SC_ADDI G1, G0, 5   ; dead: rewritten before read
+		SC_ADDI G1, G0, 7
+		SC_ADDI G2, G1, 0   ; reads G1
+		SC_ADDI G2, G0, 9   ; kills previous G2 write
+		HALT
+	`)
+	out, st, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadWrites != 2 {
+		t.Errorf("eliminated %d dead writes, want 2", st.DeadWrites)
+	}
+	if len(out) != 3 {
+		t.Errorf("optimized length %d, want 3", len(out))
+	}
+}
+
+func TestDeadWriteStopsAtBlockBoundary(t *testing.T) {
+	// The write before the branch target must survive: another block may
+	// read it.
+	prog := asm(t, `
+		SC_ADDI G1, G0, 5
+	l:	SC_ADDI G1, G0, 7
+		BNE G1, G0, %l
+		HALT
+	`)
+	_, st, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadWrites != 0 {
+		t.Errorf("eliminated %d writes across block boundary", st.DeadWrites)
+	}
+}
+
+func TestDivisionNeverEliminated(t *testing.T) {
+	prog := asm(t, `
+		SC_DIV G1, G2, G3
+		SC_ADDI G1, G0, 7
+		SC_SB G1, G0, 0
+		HALT
+	`)
+	_, st, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadWrites != 0 {
+		t.Error("eliminated a faulting division")
+	}
+}
+
+func TestTrivialMoves(t *testing.T) {
+	prog := []isa.Instruction{
+		isa.ALUI(isa.FnAdd, 5, 5, 0), // trivial
+		isa.ALUI(isa.FnAdd, 5, 4, 0), // a real move
+		isa.Halt(),
+	}
+	out, st, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TrivialMoves != 1 {
+		t.Errorf("TrivialMoves = %d, want 1", st.TrivialMoves)
+	}
+	if len(out) != 2 {
+		t.Errorf("length %d, want 2", len(out))
+	}
+}
+
+func TestOptimizePreservesNonScalarOps(t *testing.T) {
+	prog := asm(t, `
+		SC_ADDI G1, G0, 64
+		CIM_MVM G0, G1, G0, 0x2
+		SEND G0, G1, G0, 1
+		VEC_RELU G1, G1, G0, G1
+		HALT
+	`)
+	out, _, err := Optimize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(prog) {
+		t.Errorf("optimizer dropped side-effecting instructions: %d -> %d", len(prog), len(out))
+	}
+}

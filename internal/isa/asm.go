@@ -1,0 +1,265 @@
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Disassemble renders one instruction in the textual assembly syntax
+// accepted by Assemble.
+func Disassemble(in Instruction) string {
+	d, ok := Lookup(in.Op)
+	if !ok {
+		return fmt.Sprintf(".word %#08x", uint32(in.Op))
+	}
+	name := d.Name
+	switch in.Op {
+	case OpScALU, OpScALUI:
+		name = "SC_" + ScalarFnName(in.Funct)
+		if in.Op == OpScALUI {
+			name += "I"
+		}
+	case OpVec:
+		name = VectorFnName(in.Funct)
+	}
+	var args []string
+	for _, operand := range d.Operands {
+		switch operand {
+		case "rs":
+			args = append(args, reg(in.RS))
+		case "rt":
+			args = append(args, reg(in.RT))
+		case "re":
+			args = append(args, reg(in.RE))
+		case "rd":
+			args = append(args, reg(in.RD))
+		case "imm":
+			args = append(args, strconv.Itoa(int(in.Imm)))
+		case "flags":
+			args = append(args, fmt.Sprintf("%#x", in.Flags))
+		case "funct":
+			// Folded into the mnemonic for SC_*/VEC_*; printed for others.
+			if in.Op != OpScALU && in.Op != OpScALUI && in.Op != OpVec {
+				args = append(args, strconv.Itoa(int(in.Funct)))
+			}
+		}
+	}
+	if len(args) == 0 {
+		return name
+	}
+	return name + " " + strings.Join(args, ", ")
+}
+
+// DisassembleProgram renders a whole program, one instruction per line with
+// its index.
+func DisassembleProgram(prog []Instruction) string {
+	var b strings.Builder
+	for i, in := range prog {
+		fmt.Fprintf(&b, "%6d: %s\n", i, Disassemble(in))
+	}
+	return b.String()
+}
+
+func reg(r uint8) string { return "G" + strconv.Itoa(int(r)) }
+
+// Assemble parses assembly text into instructions. The syntax is one
+// instruction per line, `;` or `#` starting comments, optional `label:`
+// definitions, and `%label` references that resolve to relative offsets in
+// branch/jump immediates.
+func Assemble(src string) ([]Instruction, error) {
+	type pending struct {
+		index int
+		label string
+	}
+	var (
+		prog    []Instruction
+		labels  = map[string]int{}
+		fixups  []pending
+		scanner = bufio.NewScanner(strings.NewReader(src))
+		lineNo  int
+	)
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 || strings.ContainsAny(line[:colon], " \t,") {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.ToUpper(fields[0])
+		var args []string
+		if len(fields) > 1 {
+			for _, a := range strings.Split(fields[1], ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		in, labelRef, err := parseInstruction(mnemonic, args)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{len(prog), labelRef})
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", f.label)
+		}
+		// Branch offsets are relative to the next instruction.
+		prog[f.index].Imm = int32(target - (f.index + 1))
+	}
+	return prog, nil
+}
+
+func parseInstruction(mnemonic string, args []string) (Instruction, string, error) {
+	// Resolve SC_<fn>[I] and VEC_* mnemonics to their base opcode + funct.
+	var in Instruction
+	switch {
+	case strings.HasPrefix(mnemonic, "SC_") && scalarFn(mnemonic) >= 0:
+		fn := scalarFn(mnemonic)
+		if strings.HasSuffix(mnemonic, "I") && scalarFnName(mnemonic[3:len(mnemonic)-1]) >= 0 {
+			in.Op, in.Funct = OpScALUI, uint8(scalarFnName(mnemonic[3:len(mnemonic)-1]))
+		} else {
+			in.Op, in.Funct = OpScALU, uint8(fn)
+		}
+	case strings.HasPrefix(mnemonic, "VEC_"):
+		fn := vectorFn(mnemonic)
+		if fn < 0 {
+			return in, "", fmt.Errorf("unknown vector mnemonic %q", mnemonic)
+		}
+		in.Op, in.Funct = OpVec, uint8(fn)
+	default:
+		d, ok := LookupName(mnemonic)
+		if !ok {
+			return in, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+		}
+		in.Op = d.Op
+	}
+	d, _ := Lookup(in.Op)
+	var labelRef string
+	argIdx := 0
+	next := func() (string, error) {
+		if argIdx >= len(args) {
+			return "", fmt.Errorf("%s: missing operand %d", mnemonic, argIdx+1)
+		}
+		a := args[argIdx]
+		argIdx++
+		return a, nil
+	}
+	for _, operand := range d.Operands {
+		if operand == "funct" && (in.Op == OpScALU || in.Op == OpScALUI || in.Op == OpVec) {
+			continue // already folded into the mnemonic
+		}
+		a, err := next()
+		if err != nil {
+			return in, "", err
+		}
+		switch operand {
+		case "rs", "rt", "re", "rd":
+			r, err := parseReg(a)
+			if err != nil {
+				return in, "", fmt.Errorf("%s: %w", mnemonic, err)
+			}
+			switch operand {
+			case "rs":
+				in.RS = r
+			case "rt":
+				in.RT = r
+			case "re":
+				in.RE = r
+			case "rd":
+				in.RD = r
+			}
+		case "imm":
+			if strings.HasPrefix(a, "%") {
+				labelRef = a[1:]
+				continue
+			}
+			v, err := strconv.ParseInt(a, 0, 32)
+			if err != nil {
+				return in, "", fmt.Errorf("%s: bad immediate %q", mnemonic, a)
+			}
+			in.Imm = int32(v)
+		case "flags":
+			v, err := strconv.ParseUint(a, 0, 16)
+			if err != nil {
+				return in, "", fmt.Errorf("%s: bad flags %q", mnemonic, a)
+			}
+			in.Flags = uint16(v)
+		case "funct":
+			v, err := strconv.ParseUint(a, 0, 8)
+			if err != nil {
+				return in, "", fmt.Errorf("%s: bad funct %q", mnemonic, a)
+			}
+			in.Funct = uint8(v)
+		}
+	}
+	if argIdx != len(args) {
+		return in, "", fmt.Errorf("%s: %d extra operand(s)", mnemonic, len(args)-argIdx)
+	}
+	return in, labelRef, nil
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToUpper(s)
+	if !strings.HasPrefix(s, "G") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumGRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// scalarFn resolves SC_<NAME> or SC_<NAME>I to a scalar funct code, or -1.
+func scalarFn(mnemonic string) int {
+	body := mnemonic[3:]
+	if fn := scalarFnName(body); fn >= 0 {
+		return fn
+	}
+	if strings.HasSuffix(body, "I") {
+		return scalarFnName(body[:len(body)-1])
+	}
+	return -1
+}
+
+func scalarFnName(name string) int {
+	for i, n := range scalarFnNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func vectorFn(mnemonic string) int {
+	for i, n := range vectorFnNames {
+		if n == mnemonic {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,132 @@
+package isa
+
+import "fmt"
+
+// Field bit positions within the 32-bit word (Fig. 3 layout).
+const (
+	opShift = 26
+	rsShift = 21
+	rtShift = 16
+	reShift = 11
+	rdShift = 6
+
+	regMask    = 0x1f
+	functMask  = 0x3f
+	imm10Mask  = 0x3ff
+	imm11Mask  = 0x7ff
+	imm16Mask  = 0xffff
+	flagsMask  = 0x7ff
+	opcodeMask = 0x3f
+)
+
+// Encode packs a decoded instruction into its 32-bit binary representation
+// according to its opcode's format. It reports an error when an operand does
+// not fit its field, so the compiler cannot emit unencodable instructions.
+func Encode(in Instruction) (uint32, error) {
+	d, ok := Lookup(in.Op)
+	if !ok {
+		return 0, fmt.Errorf("isa: encode: unknown opcode %d", in.Op)
+	}
+	if in.RS > regMask || in.RT > regMask || in.RE > regMask || in.RD > regMask {
+		return 0, fmt.Errorf("isa: encode %s: register field out of range", d.Name)
+	}
+	w := uint32(in.Op&opcodeMask)<<opShift |
+		uint32(in.RS)<<rsShift |
+		uint32(in.RT)<<rtShift
+	switch d.Format {
+	case FormatR:
+		if in.Funct > functMask {
+			return 0, fmt.Errorf("isa: encode %s: funct %d exceeds 6 bits", d.Name, in.Funct)
+		}
+		w |= uint32(in.RE)<<reShift | uint32(in.RD)<<rdShift | uint32(in.Funct)
+	case FormatC:
+		if in.Flags > flagsMask {
+			return 0, fmt.Errorf("isa: encode %s: flags %#x exceed 11 bits", d.Name, in.Flags)
+		}
+		w |= uint32(in.RE)<<reShift | uint32(in.Flags)
+	case FormatI:
+		if in.Funct > functMask {
+			return 0, fmt.Errorf("isa: encode %s: funct %d exceeds 6 bits", d.Name, in.Funct)
+		}
+		if in.Imm < -(1<<9) || in.Imm >= 1<<9 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d exceeds signed 10 bits", d.Name, in.Imm)
+		}
+		w |= uint32(in.Funct)<<10 | uint32(in.Imm)&imm10Mask
+	case FormatM:
+		if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+			return 0, fmt.Errorf("isa: encode %s: offset %d exceeds signed 16 bits", d.Name, in.Imm)
+		}
+		w |= uint32(in.Imm) & imm16Mask
+	case FormatO:
+		if in.Imm < -(1<<10) || in.Imm >= 1<<10 {
+			return 0, fmt.Errorf("isa: encode %s: offset %d exceeds signed 11 bits", d.Name, in.Imm)
+		}
+		w |= uint32(in.RD)<<reShift | uint32(in.Imm)&imm11Mask
+	default:
+		return 0, fmt.Errorf("isa: encode %s: unknown format %v", d.Name, d.Format)
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Instruction, error) {
+	op := Opcode(w >> opShift & opcodeMask)
+	d, ok := Lookup(op)
+	if !ok {
+		return Instruction{}, fmt.Errorf("isa: decode: unknown opcode %d in word %#08x", op, w)
+	}
+	in := Instruction{
+		Op: op,
+		RS: uint8(w >> rsShift & regMask),
+		RT: uint8(w >> rtShift & regMask),
+	}
+	switch d.Format {
+	case FormatR:
+		in.RE = uint8(w >> reShift & regMask)
+		in.RD = uint8(w >> rdShift & regMask)
+		in.Funct = uint8(w & functMask)
+	case FormatC:
+		in.RE = uint8(w >> reShift & regMask)
+		in.Flags = uint16(w & flagsMask)
+	case FormatI:
+		in.Funct = uint8(w >> 10 & functMask)
+		in.Imm = signExtend(w&imm10Mask, 10)
+	case FormatM:
+		in.Imm = signExtend(w&imm16Mask, 16)
+	case FormatO:
+		in.RD = uint8(w >> reShift & regMask)
+		in.Imm = signExtend(w&imm11Mask, 11)
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a sequence of instructions into binary words.
+func EncodeProgram(prog []Instruction) ([]uint32, error) {
+	words := make([]uint32, len(prog))
+	for i, in := range prog {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("at instruction %d: %w", i, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// DecodeProgram decodes a sequence of binary words.
+func DecodeProgram(words []uint32) ([]Instruction, error) {
+	prog := make([]Instruction, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("at word %d: %w", i, err)
+		}
+		prog[i] = in
+	}
+	return prog, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}

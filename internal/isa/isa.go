@@ -1,0 +1,283 @@
+// Package isa defines the CIMFlow instruction set architecture: a unified
+// 32-bit instruction encoding with specialized formats for compute (CIM,
+// vector, scalar), communication, and control-flow operations, plus the
+// register-file specification shared by the compiler and the simulator.
+//
+// The ISA follows the paper's three-level hardware abstraction: chip-level
+// communication instructions (SEND/RECV/BARRIER and global-memory MEM_CPY),
+// core-level scalar/control instructions, and unit-level CIM and vector
+// instructions. Every instruction carries a 6-bit opcode and 5-bit operand
+// fields; some formats add a 6-bit functionality specifier, execution flags,
+// or 10/16-bit immediates, exactly as in Fig. 3 of the paper.
+package isa
+
+import "fmt"
+
+// Format enumerates the five instruction encoding layouts.
+type Format uint8
+
+const (
+	// FormatR: opcode(6) rs(5) rt(5) re(5) rd(5) funct(6) — register
+	// compute operations (scalar ALU, vector unit, CIM_LOAD).
+	FormatR Format = iota
+	// FormatC: opcode(6) rs(5) rt(5) re(5) flags(11) — CIM operations and
+	// barriers, with execution flags.
+	FormatC
+	// FormatI: opcode(6) rs(5) rt(5) funct(6) imm(10) — immediate scalar
+	// operations and special-register moves.
+	FormatI
+	// FormatM: opcode(6) rs(5) rt(5) offset(16) — memory access with a wide
+	// offset, branches, and jumps.
+	FormatM
+	// FormatO: opcode(6) rs(5) rt(5) rd(5) offset(11) — communication
+	// operations carrying three operands plus an offset.
+	FormatO
+)
+
+// String returns the conventional name of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatR:
+		return "R"
+	case FormatC:
+		return "C"
+	case FormatI:
+		return "I"
+	case FormatM:
+		return "M"
+	case FormatO:
+		return "O"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// Unit identifies the execution unit an instruction dispatches to, matching
+// the core-level hardware abstraction (Fig. 3).
+type Unit uint8
+
+const (
+	UnitScalar   Unit = iota // scalar compute unit (also control flow)
+	UnitVector               // vector compute unit
+	UnitCIM                  // CIM compute unit (macro groups)
+	UnitTransfer             // transfer unit (local/global/NoC data movement)
+	UnitControl              // front-end handled (branches, halt)
+)
+
+// String returns the unit name.
+func (u Unit) String() string {
+	switch u {
+	case UnitScalar:
+		return "scalar"
+	case UnitVector:
+		return "vector"
+	case UnitCIM:
+		return "cim"
+	case UnitTransfer:
+		return "transfer"
+	case UnitControl:
+		return "control"
+	}
+	return fmt.Sprintf("Unit(%d)", uint8(u))
+}
+
+// Opcode is the 6-bit primary operation specifier.
+type Opcode uint8
+
+// Control-flow, scalar, communication, CIM and vector opcodes.
+const (
+	OpNOP  Opcode = 0 // no operation
+	OpHALT Opcode = 1 // stop the core
+	OpJMP  Opcode = 2 // pc += offset (M)
+	OpBEQ  Opcode = 3 // if G[rs]==G[rt] pc += offset (M)
+	OpBNE  Opcode = 4 // if G[rs]!=G[rt] pc += offset (M)
+	OpBLT  Opcode = 5 // if G[rs]< G[rt] pc += offset (M)
+	OpBGE  Opcode = 6 // if G[rs]>=G[rt] pc += offset (M)
+
+	OpScALU  Opcode = 8  // G[rd] = G[rs] <funct> G[rt] (R)
+	OpScALUI Opcode = 9  // G[rt] = G[rs] <funct> imm (I)
+	OpScLUI  Opcode = 10 // G[rt] = offset << 16 (M)
+	OpScLD   Opcode = 11 // G[rt] = mem32[G[rs]+offset] (M)
+	OpScST   Opcode = 12 // mem32[G[rs]+offset] = G[rt] (M)
+	OpScLB   Opcode = 13 // G[rt] = sext(mem8[G[rs]+offset]) (M)
+	OpScSB   Opcode = 14 // mem8[G[rs]+offset] = G[rt] (M)
+	OpScMTS  Opcode = 15 // S[imm] = G[rs] (I)
+	OpScMFS  Opcode = 16 // G[rt] = S[imm] (I)
+
+	OpMemCpy  Opcode = 20 // mem[G[rd]+offset .. ] = mem[G[rs] ..][0:G[rt]] (O)
+	OpSend    Opcode = 21 // send G[rt] bytes at G[rs] to core G[rd], tag offset (O)
+	OpRecv    Opcode = 22 // recv G[rt] bytes into G[rs] from core G[rd], tag offset (O)
+	OpBarrier Opcode = 23 // chip-wide barrier, id in flags (C)
+	OpVFill   Opcode = 24 // mem8[G[rs] .. +G[rt]] = int8(offset) (O)
+
+	OpCimLoad Opcode = 28 // load G[re] rows x G[rd] chans of weights from mem[G[rs]] into MG G[rt] (R)
+	OpCimMVM  Opcode = 29 // matrix-vector multiply: input mem[G[rs]] len G[rt], output mem[G[re]] (C)
+
+	OpVec Opcode = 32 // vector unit operation selected by funct (R)
+)
+
+// Scalar ALU function codes shared by OpScALU and OpScALUI.
+const (
+	FnAdd uint8 = iota
+	FnSub
+	FnMul
+	FnDiv
+	FnRem
+	FnAnd
+	FnOr
+	FnXor
+	FnSlt
+	FnSll
+	FnSrl
+	FnSra
+	FnMin
+	FnMax
+	numScalarFn
+)
+
+// Vector unit function codes (OpVec funct field). The vector unit operates
+// memory-to-memory on INT8 or INT32 element vectors in local memory:
+// rs = source A address, rt = source B address (or scalar G-register for
+// *S variants), rd = destination address, re = element count.
+const (
+	VFnAdd8   uint8 = iota // d8[i] = sat8(a8[i] + b8[i])
+	VFnMul8                // d8[i] = sat8(a8[i] * b8[i])
+	VFnMax8                // d8[i] = max(a8[i], b8[i])
+	VFnMin8                // d8[i] = min(a8[i], b8[i])
+	VFnMov8                // d8[i] = a8[i]
+	VFnRelu8               // d8[i] = max(a8[i], 0)
+	VFnRelu68              // d8[i] = clamp(a8[i], 0, q6) with q6 = G[rt]
+	VFnSigm8               // d8[i] = quant(sigmoid(dequant(a8[i])))
+	VFnSilu8               // d8[i] = quant(silu(dequant(a8[i])))
+	VFnAddS8               // d8[i] = sat8(a8[i] + G[rt])
+	VFnMaxS8               // d8[i] = max(a8[i], G[rt])
+	VFnQAdd8               // d8[i] = sat8((a8[i]*QMulA + b8[i]*QMulB) >> QuantShift)
+	VFnQMul8               // d8[i] = sat8((a8[i]*b8[i]*QuantMul) >> QuantShift)
+	VFnAdd32               // d32[i] = a32[i] + b32[i]
+	VFnMac8                // d32[i] += a8[i] * b8[i]
+	VFnAcc8                // d32[i] += a8[i]
+	VFnQnt                 // d8[i] = sat8((a32[i]*QuantMul) >> QuantShift)
+	VFnRSum8               // d32[0] = sum_i a8[i] (reduction)
+	VFnRSum32              // d32[0] = sum_i a32[i] (reduction)
+	VFnRMax8               // d8[0] = max_i a8[i] (reduction)
+	numVectorFn
+)
+
+// CIM_MVM execution flags (FormatC flags field, 11 bits). One CIM_MVM
+// drives one macro group — the MG is the SIMD granule of the CIM unit, so
+// the macro-group size design knob directly sets per-instruction
+// parallelism. Row-tiled operators issue one MVM per resident tile and
+// accumulate in the unit-level accumulator (the inter-macro adder tree and
+// accumulator of Fig. 3); the final issue requantizes and writes back.
+const (
+	MVMFlagAccumulate uint16 = 1 << iota // add into the unit accumulator instead of clearing
+	MVMFlagWriteback                     // requantize the accumulator and write INT8 output
+	MVMFlagWriteRaw                      // write raw INT32 accumulator values instead
+	MVMFlagRelu                          // fuse ReLU into the requantized writeback
+)
+
+// MVMFlagMGShift is the bit position of the 5-bit target macro-group index
+// within the CIM_MVM flags field.
+const MVMFlagMGShift = 4
+
+// MVMFlags packs a macro-group index and option bits into the flags field.
+func MVMFlags(mg int, opts uint16) uint16 {
+	return uint16(mg)<<MVMFlagMGShift | opts
+}
+
+// MVMFlagMG extracts the macro-group index from a flags field.
+func MVMFlagMG(flags uint16) int { return int(flags >> MVMFlagMGShift & 0x1f) }
+
+// General-purpose register indices. G0 is hardwired to zero.
+const (
+	GZero = 0
+	// NumGRegs is the architectural general register count.
+	NumGRegs = 32
+)
+
+// Special-purpose register indices (S_Reg file). Special registers carry
+// operation-specific configuration for the CIM and vector units, written
+// with SC_MTS and read with SC_MFS.
+const (
+	SRegMGMask      = iota // macro-group clock-gating mask (reserved)
+	SRegQuantMul           // requantization multiplier (INT32 fixed point)
+	SRegQuantShift         // requantization arithmetic right shift
+	SRegCoreID             // this core's id (read-only)
+	SRegSegCount           // CIM_MVM input gather: number of segments
+	SRegSegStride          // CIM_MVM input gather: byte stride between segments
+	SRegVecStrideA         // vector unit source A element stride (default 1)
+	SRegVecStrideB         // vector unit source B element stride (default 1)
+	SRegVecStrideD         // vector unit destination element stride (default 1)
+	SRegLoadRow            // CIM_LOAD target row offset within the MG
+	SRegLoadChan           // CIM_LOAD target channel offset within the MG
+	SRegRowTiles           // reserved for multi-tile MVM extensions
+	SRegQMulA              // VFnQAdd8 multiplier for operand A
+	SRegQMulB              // VFnQAdd8 multiplier for operand B
+	SRegActInScale         // activation dequant scale (float32 bits)
+	SRegActOutScale        // activation requant scale (float32 bits)
+	SRegOutChans           // CIM_MVM writeback channel count (0 = whole group)
+	// NumSRegs is the architectural special register count.
+	NumSRegs = 20
+)
+
+// Instruction is the decoded form shared by the assembler, the encoder and
+// the simulator. Fields not used by an instruction's format are zero.
+type Instruction struct {
+	Op    Opcode
+	Funct uint8  // R/I formats: 6-bit functionality specifier
+	RS    uint8  // first source register
+	RT    uint8  // second source register
+	RE    uint8  // extra operand register
+	RD    uint8  // destination register
+	Imm   int32  // I: 10-bit, M: 16-bit, O: 11-bit signed immediate/offset
+	Flags uint16 // C: 11-bit execution flags
+}
+
+// FormatOf returns the encoding format of an opcode.
+func FormatOf(op Opcode) Format {
+	if d, ok := Lookup(op); ok {
+		return d.Format
+	}
+	return FormatR
+}
+
+// UnitOf returns the execution unit an opcode dispatches to.
+func UnitOf(op Opcode) Unit {
+	if d, ok := Lookup(op); ok {
+		return d.Unit
+	}
+	return UnitScalar
+}
+
+// String renders the instruction in assembly syntax.
+func (in Instruction) String() string { return Disassemble(in) }
+
+// scalarFnNames maps scalar funct codes to mnemonic suffixes.
+var scalarFnNames = [numScalarFn]string{
+	"ADD", "SUB", "MUL", "DIV", "REM", "AND", "OR", "XOR",
+	"SLT", "SLL", "SRL", "SRA", "MIN", "MAX",
+}
+
+// vectorFnNames maps vector funct codes to mnemonics.
+var vectorFnNames = [numVectorFn]string{
+	"VEC_ADD", "VEC_MUL", "VEC_MAX", "VEC_MIN", "VEC_MOV",
+	"VEC_RELU", "VEC_RELU6", "VEC_SIGM", "VEC_SILU",
+	"VEC_ADDS", "VEC_MAXS", "VEC_QADD", "VEC_QMUL",
+	"VEC_ADD32", "VEC_MAC8", "VEC_ACC8", "VEC_QNT",
+	"VEC_RSUM8", "VEC_RSUM32", "VEC_RMAX8",
+}
+
+// ScalarFnName returns the mnemonic suffix of a scalar funct code.
+func ScalarFnName(fn uint8) string {
+	if int(fn) < len(scalarFnNames) {
+		return scalarFnNames[fn]
+	}
+	return fmt.Sprintf("FN%d", fn)
+}
+
+// VectorFnName returns the mnemonic of a vector funct code.
+func VectorFnName(fn uint8) string {
+	if int(fn) < len(vectorFnNames) {
+		return vectorFnNames[fn]
+	}
+	return fmt.Sprintf("VFN%d", fn)
+}

@@ -1,0 +1,318 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripAllFormats(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpNOP},
+		{Op: OpHALT},
+		{Op: OpJMP, Imm: -26},
+		{Op: OpBEQ, RS: 1, RT: 2, Imm: 100},
+		{Op: OpBNE, RS: 3, RT: 4, Imm: -1},
+		{Op: OpScALU, Funct: FnMul, RD: 7, RS: 8, RT: 9},
+		{Op: OpScALUI, Funct: FnAdd, RT: 2, RS: 7, Imm: 1},
+		{Op: OpScALUI, Funct: FnSlt, RT: 2, RS: 7, Imm: -511},
+		{Op: OpScLUI, RT: 5, Imm: 0x7fff},
+		{Op: OpScLD, RT: 1, RS: 2, Imm: 4096},
+		{Op: OpScST, RT: 1, RS: 2, Imm: -4096},
+		{Op: OpScMTS, RS: 3, Imm: SRegMGMask},
+		{Op: OpScMFS, RT: 4, Imm: SRegCoreID},
+		{Op: OpMemCpy, RD: 1, RS: 2, RT: 3, Imm: 16},
+		{Op: OpSend, RS: 1, RT: 2, RD: 3, Imm: 511},
+		{Op: OpRecv, RS: 1, RT: 2, RD: 3, Imm: -512},
+		{Op: OpBarrier, Flags: 7},
+		{Op: OpVFill, RS: 1, RT: 2, Imm: -128},
+		{Op: OpCimLoad, RT: 1, RS: 2, RE: 3, RD: 4},
+		{Op: OpCimMVM, RS: 7, RT: 10, RE: 9, Flags: MVMFlagAccumulate | MVMFlagWriteback},
+		{Op: OpVec, Funct: VFnQnt, RD: 1, RS: 2, RT: 0, RE: 3},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Errorf("Decode(%#08x): %v", w, err)
+			continue
+		}
+		if got != in {
+			t.Errorf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+// TestEncodeDecodeProperty generates random well-formed instructions and
+// checks Decode(Encode(x)) == x.
+func TestEncodeDecodeProperty(t *testing.T) {
+	descs := All()
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		d := descs[rng.Intn(len(descs))]
+		in := Instruction{
+			Op: d.Op,
+			RS: uint8(rng.Intn(32)),
+			RT: uint8(rng.Intn(32)),
+		}
+		switch d.Format {
+		case FormatR:
+			in.RE = uint8(rng.Intn(32))
+			in.RD = uint8(rng.Intn(32))
+			in.Funct = uint8(rng.Intn(64))
+		case FormatC:
+			in.RE = uint8(rng.Intn(32))
+			in.Flags = uint16(rng.Intn(1 << 11))
+		case FormatI:
+			in.Funct = uint8(rng.Intn(64))
+			in.Imm = int32(rng.Intn(1<<10)) - 1<<9
+		case FormatM:
+			in.Imm = int32(rng.Intn(1<<16)) - 1<<15
+		case FormatO:
+			in.RD = uint8(rng.Intn(32))
+			in.Imm = int32(rng.Intn(1<<11)) - 1<<10
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpScALUI, Imm: 512},               // 10-bit overflow
+		{Op: OpScALUI, Imm: -513},              // 10-bit underflow
+		{Op: OpJMP, Imm: 1 << 20},              // 16-bit overflow
+		{Op: OpMemCpy, Imm: 1024},              // 11-bit overflow
+		{Op: OpCimMVM, Flags: 1 << 12},         // 11-bit flags overflow
+		{Op: OpScALU, Funct: 64},               // 6-bit funct overflow
+		{Op: OpScALU, RD: 32},                  // register overflow
+		{Op: Opcode(63), RS: 1},                // unknown opcode
+		{Op: OpVec, Funct: 77, RD: 1, RE: 200}, // register overflow
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) accepted an unencodable instruction", in)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownOpcode(t *testing.T) {
+	if _, err := Decode(uint32(60) << 26); err == nil {
+		t.Error("Decode accepted an unknown opcode")
+	}
+}
+
+func TestLIProducesConstant(t *testing.T) {
+	// LI must materialize any constant; verified by symbolic execution of
+	// the tiny instruction subset it emits.
+	eval := func(prog []Instruction) int32 {
+		var regs [NumGRegs]int32
+		for _, in := range prog {
+			switch in.Op {
+			case OpScLUI:
+				regs[in.RT] = in.Imm << 16
+			case OpScALUI:
+				switch in.Funct {
+				case FnAdd:
+					regs[in.RT] = regs[in.RS] + in.Imm
+				case FnOr:
+					regs[in.RT] = regs[in.RS] | in.Imm
+				case FnSll:
+					regs[in.RT] = regs[in.RS] << uint(in.Imm)
+				default:
+					t.Fatalf("unexpected funct %d", in.Funct)
+				}
+			default:
+				t.Fatalf("unexpected op %d", in.Op)
+			}
+		}
+		return regs[5]
+	}
+	for _, v := range []int32{0, 1, -1, 511, -512, 512, 0xffff, 0x10000, 123456789, -123456789, 1 << 30, -(1 << 30), 0x7fffffff, -0x80000000} {
+		prog := LI(5, v)
+		if got := eval(prog); got != v {
+			t.Errorf("LI(%d) evaluates to %d (program %v)", v, got, prog)
+		}
+		if _, err := EncodeProgram(prog); err != nil {
+			t.Errorf("LI(%d) not encodable: %v", v, err)
+		}
+	}
+}
+
+func TestLIProperty(t *testing.T) {
+	f := func(v int32) bool {
+		prog := LI(5, v)
+		var r int32
+		for _, in := range prog {
+			switch {
+			case in.Op == OpScLUI:
+				r = in.Imm << 16
+			case in.Op == OpScALUI && in.Funct == FnAdd:
+				r += in.Imm
+			case in.Op == OpScALUI && in.Funct == FnOr:
+				r |= in.Imm
+			case in.Op == OpScALUI && in.Funct == FnSll:
+				r <<= uint(in.Imm)
+			}
+		}
+		return r == v && len(prog) <= 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := `
+; innermost loop for MVM (paper Fig. 4 style)
+        SC_ADDI G7, G0, 100
+loop:   CIM_MVM G7, G10, G9, 0x2
+        SC_ADDI G7, G7, 1
+        SC_ADDI G2, G2, -1
+        BNE G2, G0, %loop
+        MEM_CPY G3, G4, G5, 0
+        SEND G1, G2, G3, 42
+        RECV G1, G2, G3, 42
+        BARRIER 1
+        VEC_QNT G1, G2, G0, G3
+        VEC_ADD G1, G2, G3, G4
+        SC_MTS 0, G6
+        SC_MFS G6, 3
+        VFILL G1, G2, 0
+        HALT
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(prog) != 15 {
+		t.Fatalf("assembled %d instructions, want 15", len(prog))
+	}
+	if prog[4].Op != OpBNE || prog[4].Imm != -4 {
+		t.Errorf("branch = %+v, want BNE offset -4", prog[4])
+	}
+	// Disassemble and re-assemble: must be identical (labels become numeric
+	// offsets, which the assembler also accepts).
+	text := DisassembleProgram(prog)
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	var src2 strings.Builder
+	for _, l := range lines {
+		src2.WriteString(l[strings.Index(l, ":")+1:] + "\n")
+	}
+	prog2, err := Assemble(src2.String())
+	if err != nil {
+		t.Fatalf("re-Assemble: %v\n%s", err, text)
+	}
+	if len(prog2) != len(prog) {
+		t.Fatalf("re-assembled %d instructions, want %d", len(prog2), len(prog))
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Errorf("instruction %d: %+v != %+v", i, prog[i], prog2[i])
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown mnemonic", "FROB G1, G2"},
+		{"bad register", "SC_ADD G1, G2, X3"},
+		{"missing operand", "SC_ADD G1, G2"},
+		{"extra operand", "HALT G1"},
+		{"undefined label", "JMP %nowhere"},
+		{"duplicate label", "a: NOP\na: NOP"},
+		{"bad immediate", "SC_ADDI G1, G2, zebra"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Assemble(tc.src); err == nil {
+				t.Errorf("Assemble(%q) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestRegistryExtension(t *testing.T) {
+	ext := Descriptor{
+		Name:        "CIM_LUT",
+		Op:          Opcode(50),
+		Format:      FormatC,
+		Unit:        UnitCIM,
+		Operands:    []string{"rs", "rt", "re", "flags"},
+		FixedCycles: 4,
+		EnergyClass: "cim",
+	}
+	if err := Register(ext); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	defer func() {
+		if err := Unregister("CIM_LUT"); err != nil {
+			t.Errorf("Unregister: %v", err)
+		}
+	}()
+	// The extension is immediately encodable and assemblable.
+	in := Instruction{Op: 50, RS: 1, RT: 2, RE: 3, Flags: 5}
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode extension: %v", err)
+	}
+	got, err := Decode(w)
+	if err != nil || got != in {
+		t.Fatalf("Decode extension: %v %+v", err, got)
+	}
+	prog, err := Assemble("CIM_LUT G1, G2, G3, 0x5")
+	if err != nil {
+		t.Fatalf("Assemble extension: %v", err)
+	}
+	if prog[0] != in {
+		t.Errorf("assembled %+v, want %+v", prog[0], in)
+	}
+	// Conflicts are rejected.
+	if err := Register(ext); err == nil {
+		t.Error("Register accepted a duplicate")
+	}
+	if err := Register(Descriptor{Name: "OTHER", Op: OpCimMVM}); err == nil {
+		t.Error("Register accepted an opcode conflict")
+	}
+	if err := Register(Descriptor{Name: "BIG", Op: 99}); err == nil {
+		t.Error("Register accepted a 7-bit opcode")
+	}
+}
+
+func TestUnregisterBaseRefused(t *testing.T) {
+	if err := Unregister("CIM_MVM"); err == nil {
+		t.Error("Unregister removed a base instruction")
+	}
+	if err := Unregister("NO_SUCH"); err == nil {
+		t.Error("Unregister accepted an unknown mnemonic")
+	}
+}
+
+func TestDescriptorTableComplete(t *testing.T) {
+	for _, d := range All() {
+		if d.Unit > UnitControl {
+			t.Errorf("%s: bad unit %v", d.Name, d.Unit)
+		}
+		if d.EnergyClass == "" {
+			t.Errorf("%s: missing energy class", d.Name)
+		}
+		if FormatOf(d.Op) != d.Format {
+			t.Errorf("%s: FormatOf mismatch", d.Name)
+		}
+		if UnitOf(d.Op) != d.Unit {
+			t.Errorf("%s: UnitOf mismatch", d.Name)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Descriptor is the instruction description template through which new
+// operations are integrated into the framework. Registering a descriptor is
+// all that is required for an instruction to be encodable, assemblable,
+// disassemblable, and — given its timing/energy classes — simulatable,
+// realizing the paper's "customized instruction description template".
+type Descriptor struct {
+	// Name is the assembly mnemonic (e.g. "CIM_MVM").
+	Name string
+	// Op is the 6-bit opcode.
+	Op Opcode
+	// Format selects the encoding layout.
+	Format Format
+	// Unit is the execution unit the instruction dispatches to.
+	Unit Unit
+	// Operands lists the register fields used, in assembly order. Valid
+	// entries: "rs", "rt", "re", "rd", "imm", "flags", "funct".
+	Operands []string
+	// WritesReg reports whether the instruction writes a general register
+	// (used by hazard tracking); the written field is RD for FormatR and RT
+	// for FormatI/FormatM loads.
+	WritesReg bool
+	// FixedCycles is the base occupancy of the unit in cycles for
+	// instructions whose latency does not depend on data size; size-driven
+	// instructions are costed by the simulator's performance model.
+	FixedCycles int
+	// EnergyClass names the energy accounting bucket ("scalar", "vector",
+	// "cim", "transfer", "control").
+	EnergyClass string
+}
+
+var (
+	regMu     sync.RWMutex
+	byOpcode  = map[Opcode]*Descriptor{}
+	byName    = map[string]*Descriptor{}
+	nameOrder []string
+)
+
+// Register adds an instruction descriptor to the ISA. It returns an error if
+// the opcode or mnemonic is already taken, so architecture extensions cannot
+// silently clobber the base ISA.
+func Register(d Descriptor) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if d.Name == "" {
+		return fmt.Errorf("isa: descriptor must have a name")
+	}
+	if _, ok := byOpcode[d.Op]; ok {
+		return fmt.Errorf("isa: opcode %d already registered", d.Op)
+	}
+	if _, ok := byName[d.Name]; ok {
+		return fmt.Errorf("isa: mnemonic %q already registered", d.Name)
+	}
+	if d.Op > 63 {
+		return fmt.Errorf("isa: opcode %d exceeds 6-bit field", d.Op)
+	}
+	cp := d
+	byOpcode[d.Op] = &cp
+	byName[d.Name] = &cp
+	nameOrder = append(nameOrder, d.Name)
+	return nil
+}
+
+// Unregister removes a previously registered extension instruction; the base
+// ISA (opcodes below 48) cannot be removed.
+func Unregister(name string) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	d, ok := byName[name]
+	if !ok {
+		return fmt.Errorf("isa: mnemonic %q not registered", name)
+	}
+	if d.Op < 48 {
+		return fmt.Errorf("isa: %q is a base instruction and cannot be unregistered", name)
+	}
+	delete(byName, name)
+	delete(byOpcode, d.Op)
+	for i, n := range nameOrder {
+		if n == name {
+			nameOrder = append(nameOrder[:i], nameOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Lookup returns the descriptor for an opcode.
+func Lookup(op Opcode) (Descriptor, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := byOpcode[op]
+	if !ok {
+		return Descriptor{}, false
+	}
+	return *d, true
+}
+
+// LookupName returns the descriptor for a mnemonic.
+func LookupName(name string) (Descriptor, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := byName[name]
+	if !ok {
+		return Descriptor{}, false
+	}
+	return *d, true
+}
+
+// All returns every registered descriptor sorted by opcode.
+func All() []Descriptor {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Descriptor, 0, len(byOpcode))
+	for _, d := range byOpcode {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+func mustRegister(d Descriptor) {
+	if err := Register(d); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	for _, d := range []Descriptor{
+		{Name: "NOP", Op: OpNOP, Format: FormatC, Unit: UnitControl, FixedCycles: 1, EnergyClass: "control"},
+		{Name: "HALT", Op: OpHALT, Format: FormatC, Unit: UnitControl, FixedCycles: 1, EnergyClass: "control"},
+		{Name: "JMP", Op: OpJMP, Format: FormatM, Unit: UnitControl, Operands: []string{"imm"}, FixedCycles: 1, EnergyClass: "control"},
+		{Name: "BEQ", Op: OpBEQ, Format: FormatM, Unit: UnitControl, Operands: []string{"rs", "rt", "imm"}, FixedCycles: 1, EnergyClass: "control"},
+		{Name: "BNE", Op: OpBNE, Format: FormatM, Unit: UnitControl, Operands: []string{"rs", "rt", "imm"}, FixedCycles: 1, EnergyClass: "control"},
+		{Name: "BLT", Op: OpBLT, Format: FormatM, Unit: UnitControl, Operands: []string{"rs", "rt", "imm"}, FixedCycles: 1, EnergyClass: "control"},
+		{Name: "BGE", Op: OpBGE, Format: FormatM, Unit: UnitControl, Operands: []string{"rs", "rt", "imm"}, FixedCycles: 1, EnergyClass: "control"},
+
+		{Name: "SC_ALU", Op: OpScALU, Format: FormatR, Unit: UnitScalar, Operands: []string{"rd", "rs", "rt", "funct"}, WritesReg: true, FixedCycles: 1, EnergyClass: "scalar"},
+		{Name: "SC_ALUI", Op: OpScALUI, Format: FormatI, Unit: UnitScalar, Operands: []string{"rt", "rs", "imm", "funct"}, WritesReg: true, FixedCycles: 1, EnergyClass: "scalar"},
+		{Name: "SC_LUI", Op: OpScLUI, Format: FormatM, Unit: UnitScalar, Operands: []string{"rt", "imm"}, WritesReg: true, FixedCycles: 1, EnergyClass: "scalar"},
+		{Name: "SC_LD", Op: OpScLD, Format: FormatM, Unit: UnitScalar, Operands: []string{"rt", "rs", "imm"}, WritesReg: true, FixedCycles: 2, EnergyClass: "scalar"},
+		{Name: "SC_ST", Op: OpScST, Format: FormatM, Unit: UnitScalar, Operands: []string{"rt", "rs", "imm"}, FixedCycles: 2, EnergyClass: "scalar"},
+		{Name: "SC_LB", Op: OpScLB, Format: FormatM, Unit: UnitScalar, Operands: []string{"rt", "rs", "imm"}, WritesReg: true, FixedCycles: 2, EnergyClass: "scalar"},
+		{Name: "SC_SB", Op: OpScSB, Format: FormatM, Unit: UnitScalar, Operands: []string{"rt", "rs", "imm"}, FixedCycles: 2, EnergyClass: "scalar"},
+		{Name: "SC_MTS", Op: OpScMTS, Format: FormatI, Unit: UnitScalar, Operands: []string{"imm", "rs"}, FixedCycles: 1, EnergyClass: "scalar"},
+		{Name: "SC_MFS", Op: OpScMFS, Format: FormatI, Unit: UnitScalar, Operands: []string{"rt", "imm"}, WritesReg: true, FixedCycles: 1, EnergyClass: "scalar"},
+
+		{Name: "MEM_CPY", Op: OpMemCpy, Format: FormatO, Unit: UnitTransfer, Operands: []string{"rs", "rt", "rd", "imm"}, EnergyClass: "transfer"},
+		{Name: "SEND", Op: OpSend, Format: FormatO, Unit: UnitTransfer, Operands: []string{"rs", "rt", "rd", "imm"}, EnergyClass: "transfer"},
+		{Name: "RECV", Op: OpRecv, Format: FormatO, Unit: UnitTransfer, Operands: []string{"rs", "rt", "rd", "imm"}, EnergyClass: "transfer"},
+		{Name: "BARRIER", Op: OpBarrier, Format: FormatC, Unit: UnitTransfer, Operands: []string{"flags"}, EnergyClass: "transfer"},
+		{Name: "VFILL", Op: OpVFill, Format: FormatO, Unit: UnitTransfer, Operands: []string{"rs", "rt", "imm"}, EnergyClass: "transfer"},
+
+		{Name: "CIM_LOAD", Op: OpCimLoad, Format: FormatR, Unit: UnitCIM, Operands: []string{"rt", "rs", "re", "rd"}, EnergyClass: "cim"},
+		{Name: "CIM_MVM", Op: OpCimMVM, Format: FormatC, Unit: UnitCIM, Operands: []string{"rs", "rt", "re", "flags"}, EnergyClass: "cim"},
+
+		{Name: "VEC", Op: OpVec, Format: FormatR, Unit: UnitVector, Operands: []string{"rd", "rs", "rt", "re", "funct"}, EnergyClass: "vector"},
+	} {
+		mustRegister(d)
+	}
+}

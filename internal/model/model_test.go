@@ -1,0 +1,289 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"cimflow/internal/tensor"
+)
+
+func TestZooModelsValidate(t *testing.T) {
+	for _, name := range ZooNames() {
+		g := Zoo(name)
+		if g == nil {
+			t.Errorf("Zoo(%q) = nil", name)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if Zoo("nonexistent") != nil {
+		t.Error("Zoo accepted an unknown name")
+	}
+}
+
+func TestZooParameterCounts(t *testing.T) {
+	// Expected INT8 parameter footprints (biases and BN folded out), within
+	// a few percent of the torchvision architectures.
+	cases := []struct {
+		name     string
+		min, max int
+	}{
+		{"resnet18", 11_000_000, 12_000_000},
+		{"vgg19", 139_000_000, 144_000_000},
+		{"mobilenetv2", 3_200_000, 3_600_000},
+		{"efficientnetb0", 4_800_000, 5_500_000},
+	}
+	for _, c := range cases {
+		g := Zoo(c.name)
+		got := g.TotalWeightBytes()
+		if got < c.min || got > c.max {
+			t.Errorf("%s: %d weight bytes, want within [%d, %d]", c.name, got, c.min, c.max)
+		}
+	}
+}
+
+func TestZooMACCounts(t *testing.T) {
+	cases := []struct {
+		name     string
+		min, max int64
+	}{
+		{"resnet18", 1_700_000_000, 2_000_000_000},
+		{"vgg19", 19_000_000_000, 20_500_000_000},
+		{"mobilenetv2", 280_000_000, 340_000_000},
+		{"efficientnetb0", 370_000_000, 450_000_000},
+	}
+	for _, c := range cases {
+		got := Zoo(c.name).TotalMACs()
+		if got < c.min || got > c.max {
+			t.Errorf("%s: %d MACs, want within [%d, %d]", c.name, got, c.min, c.max)
+		}
+	}
+}
+
+func TestShapeInference(t *testing.T) {
+	g := ResNet18()
+	// conv1: 224 -> 112, maxpool -> 56, stages end at 7x7x512.
+	if s := g.Nodes[1].OutShape; s != (Shape{112, 112, 64}) {
+		t.Errorf("conv1 shape %v", s)
+	}
+	if s := g.Nodes[2].OutShape; s != (Shape{56, 56, 64}) {
+		t.Errorf("maxpool shape %v", s)
+	}
+	var gap *Node
+	for _, n := range g.Nodes {
+		if n.Name == "gap" {
+			gap = n
+		}
+	}
+	if gap == nil || g.InShape(gap) != (Shape{7, 7, 512}) {
+		t.Errorf("pre-gap shape %v", g.InShape(gap))
+	}
+	if out := g.Nodes[g.Output()].OutShape; out != (Shape{1, 1, 1000}) {
+		t.Errorf("output shape %v", out)
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g := TinyResNet()
+	cons := g.Consumers()
+	// conv1 output feeds conv2 and the residual add.
+	var conv1 *Node
+	for _, n := range g.Nodes {
+		if n.Name == "conv1" {
+			conv1 = n
+		}
+	}
+	if len(cons[conv1.ID]) != 2 {
+		t.Errorf("conv1 has %d consumers, want 2", len(cons[conv1.ID]))
+	}
+	if len(cons[g.Output()]) != 0 {
+		t.Error("output node must have no consumers")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mk := func() *Graph {
+		g, x := NewGraph("t", Shape{4, 4, 2})
+		g.Conv("c", x, 4, 3, 1, 1, false)
+		return g
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Graph)
+		want   string
+	}{
+		{"empty", func(g *Graph) { g.Nodes = nil }, "empty"},
+		{"no input", func(g *Graph) { g.Nodes[0].Op = OpReLU }, "input"},
+		{"bad id", func(g *Graph) { g.Nodes[1].ID = 5 }, "has id"},
+		{"forward ref", func(g *Graph) { g.Nodes[1].Inputs = []int{1} }, "topological"},
+		{"empty shape", func(g *Graph) { g.Nodes[1].OutShape = Shape{} }, "empty shape"},
+		{"conv arity", func(g *Graph) { g.Nodes[1].Inputs = []int{0, 0} }, "exactly 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := mk()
+			tc.mutate(g)
+			err := g.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAddShapeMismatchRejected(t *testing.T) {
+	g, x := NewGraph("t", Shape{4, 4, 2})
+	a := g.Conv("a", x, 4, 3, 1, 1, false)
+	b := g.Conv("b", x, 8, 3, 1, 1, false)
+	g.Add("add", a, b)
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted an add of mismatched shapes")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := TinyResNet()
+	data, err := g.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Nodes) != len(g.Nodes) || g2.Name != g.Name {
+		t.Fatalf("round trip: %d nodes (%s), want %d (%s)", len(g2.Nodes), g2.Name, len(g.Nodes), g.Name)
+	}
+	for i := range g.Nodes {
+		a, b := g.Nodes[i], g2.Nodes[i]
+		if a.Op != b.Op || a.OutShape != b.OutShape || a.Cout != b.Cout ||
+			a.QMul != b.QMul || a.QShift != b.QShift || len(a.Inputs) != len(b.Inputs) {
+			t.Errorf("node %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Error("FromJSON accepted malformed JSON")
+	}
+	if _, err := FromJSON([]byte(`{"name":"x","nodes":[]}`)); err == nil {
+		t.Error("FromJSON accepted an invalid graph")
+	}
+}
+
+func TestSeededWeightsDeterministic(t *testing.T) {
+	g := TinyCNN()
+	w1 := NewSeededWeights(g, 7)
+	w2 := NewSeededWeights(g, 7)
+	w3 := NewSeededWeights(g, 8)
+	a, b, c := w1.Weights(1), w2.Weights(1), w3.Weights(1)
+	if len(a) == 0 {
+		t.Fatal("no weights for conv node")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weights")
+	}
+	for _, v := range a {
+		if v < -4 || v > 3 {
+			t.Fatalf("weight %d outside [-4, 3]", v)
+		}
+	}
+	if w1.Weights(0) != nil {
+		t.Error("input node should have no weights")
+	}
+}
+
+func TestExecuteTinyModels(t *testing.T) {
+	for _, name := range []string{"tinymlp", "tinycnn", "tinyresnet"} {
+		g := Zoo(name)
+		ws := NewSeededWeights(g, 1)
+		in := SeededInput(g.Nodes[0].OutShape, 2)
+		outs, err := Execute(g, in, ws)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		final := outs[g.Output()]
+		if final.Len() != g.Nodes[g.Output()].OutShape.Elems() {
+			t.Errorf("%s: output has %d elements", name, final.Len())
+		}
+		// Outputs must not be all zero (quant params keep signal alive).
+		nonzero := false
+		for _, v := range final.Data {
+			if v != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			t.Errorf("%s: output is all zeros; requantization too aggressive", name)
+		}
+	}
+}
+
+func TestExecuteBadInput(t *testing.T) {
+	g := TinyMLP()
+	ws := NewSeededWeights(g, 1)
+	if _, err := Execute(g, tensor.New(2, 2, 2), ws); err == nil {
+		t.Error("Execute accepted a mis-shaped input")
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	g := TinyCNN()
+	ws := NewSeededWeights(g, 3)
+	in := SeededInput(g.Nodes[0].OutShape, 4)
+	o1, err := Execute(g, in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Execute(g, in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range o1[g.Output()].Data {
+		if o1[g.Output()].Data[i] != o2[g.Output()].Data[i] {
+			t.Fatal("execution is not deterministic")
+		}
+	}
+}
+
+func TestEfficientNetSEStructure(t *testing.T) {
+	g := EfficientNetB0()
+	var muls, sigmoids int
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case OpMul:
+			muls++
+		case OpSigmoid:
+			sigmoids++
+		}
+	}
+	if muls != 16 || sigmoids != 16 {
+		t.Errorf("SE blocks: %d muls, %d sigmoids; want 16 each", muls, sigmoids)
+	}
+}
+
+func TestExecuteLargeModelsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large model execution in -short mode")
+	}
+	g := MobileNetV2()
+	ws := NewSeededWeights(g, 1)
+	in := SeededInput(g.Nodes[0].OutShape, 2)
+	if _, err := Execute(g, in, ws); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package model
+
+// The model zoo builds the paper's four benchmark networks with their
+// original layer shapes (quantized to INT8, biases and batch-norm folded),
+// plus small synthetic networks used by tests and examples. Parameter
+// counts match the torchvision architectures to within the bias/BN terms.
+
+// imageNetInput is the standard 224x224 RGB input.
+var imageNetInput = Shape{H: 224, W: 224, C: 3}
+
+// ResNet18 builds the 18-layer residual network (11.7M parameters).
+func ResNet18() *Graph {
+	g, x := NewGraph("resnet18", imageNetInput)
+	x = g.Conv("conv1", x, 64, 7, 2, 3, true)
+	x = g.MaxPool("maxpool", x, 3, 2, 1)
+	block := func(x, cout, stride int, tag string) int {
+		shortcut := x
+		y := g.Conv(tag+"_conv1", x, cout, 3, stride, 1, true)
+		y = g.Conv(tag+"_conv2", y, cout, 3, 1, 1, false)
+		if stride != 1 || g.Nodes[x].OutShape.C != cout {
+			shortcut = g.Conv(tag+"_down", x, cout, 1, stride, 0, false)
+		}
+		y = g.Add(tag+"_add", y, shortcut)
+		return g.ReLU(tag+"_relu", y)
+	}
+	for i, st := range []struct{ c, s int }{{64, 1}, {64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2}, {512, 1}} {
+		x = block(x, st.c, st.s, nameIdx("layer", i))
+	}
+	x = g.GlobalAvgPool("gap", x)
+	x = g.Flatten("flatten", x)
+	g.Dense("fc", x, 1000, false)
+	return g
+}
+
+// VGG19 builds the 19-layer VGG network (143.7M parameters); its weight
+// footprint far exceeds on-chip CIM capacity and exercises the compiler's
+// stage partitioning.
+func VGG19() *Graph {
+	g, x := NewGraph("vgg19", imageNetInput)
+	cfg := []int{64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1, 512, 512, 512, 512, -1, 512, 512, 512, 512, -1}
+	conv, pool := 0, 0
+	for _, c := range cfg {
+		if c < 0 {
+			pool++
+			x = g.MaxPool(nameIdx("pool", pool), x, 2, 2, 0)
+			continue
+		}
+		conv++
+		x = g.Conv(nameIdx("conv", conv), x, c, 3, 1, 1, true)
+	}
+	x = g.Flatten("flatten", x)
+	x = g.Dense("fc1", x, 4096, true)
+	x = g.Dense("fc2", x, 4096, true)
+	g.Dense("fc3", x, 1000, false)
+	return g
+}
+
+// MobileNetV2 builds the inverted-residual network (3.5M parameters), a
+// compact model whose small weight footprint leaves most CIM capacity idle
+// and rewards weight duplication.
+func MobileNetV2() *Graph {
+	g, x := NewGraph("mobilenetv2", imageNetInput)
+	x = g.Conv("conv_stem", x, 32, 3, 2, 1, true)
+	bottleneck := func(x, t, cout, stride int, tag string) int {
+		in := g.Nodes[x].OutShape.C
+		y := x
+		if t != 1 {
+			y = g.Conv(tag+"_expand", y, in*t, 1, 1, 0, false)
+			y = g.ReLU6(tag+"_expand_relu6", y, 48)
+		}
+		y = g.DWConv(tag+"_dw", y, 3, stride, 1, false)
+		y = g.ReLU6(tag+"_dw_relu6", y, 48)
+		y = g.Conv(tag+"_project", y, cout, 1, 1, 0, false)
+		if stride == 1 && in == cout {
+			y = g.Add(tag+"_add", y, x)
+		}
+		return y
+	}
+	idx := 0
+	for _, blk := range []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	} {
+		for i := 0; i < blk.n; i++ {
+			stride := blk.s
+			if i > 0 {
+				stride = 1
+			}
+			x = bottleneck(x, blk.t, blk.c, stride, nameIdx("block", idx))
+			idx++
+		}
+	}
+	x = g.Conv("conv_head", x, 1280, 1, 1, 0, true)
+	x = g.GlobalAvgPool("gap", x)
+	x = g.Flatten("flatten", x)
+	g.Dense("fc", x, 1000, false)
+	return g
+}
+
+// EfficientNetB0 builds the MBConv network with squeeze-excitation blocks
+// (5.3M parameters), the paper's second compact benchmark.
+func EfficientNetB0() *Graph {
+	g, x := NewGraph("efficientnetb0", imageNetInput)
+	x = g.Conv("conv_stem", x, 32, 3, 2, 1, false)
+	x = g.SiLU("stem_silu", x, 0.05, 0.05)
+	mbconv := func(x, t, k, cout, stride int, tag string) int {
+		in := g.Nodes[x].OutShape.C
+		y := x
+		if t != 1 {
+			y = g.Conv(tag+"_expand", y, in*t, 1, 1, 0, false)
+			y = g.SiLU(tag+"_expand_silu", y, 0.05, 0.05)
+		}
+		y = g.DWConv(tag+"_dw", y, k, stride, k/2, false)
+		y = g.SiLU(tag+"_dw_silu", y, 0.05, 0.05)
+		// Squeeze-excitation with reduction ratio 0.25 of the block input.
+		se := g.GlobalAvgPool(tag+"_se_squeeze", y)
+		seFlat := g.Flatten(tag+"_se_flatten", se)
+		red := max(1, in/4)
+		fc1 := g.Dense(tag+"_se_reduce", seFlat, red, false)
+		act := g.SiLU(tag+"_se_silu", fc1, 0.05, 0.05)
+		fc2 := g.Dense(tag+"_se_expand", act, g.Nodes[y].OutShape.C, false)
+		gate := g.Sigmoid(tag+"_se_gate", fc2, 0.05, 1.0/64)
+		y = g.Mul(tag+"_se_scale", y, gate)
+		y = g.Conv(tag+"_project", y, cout, 1, 1, 0, false)
+		if stride == 1 && in == cout {
+			y = g.Add(tag+"_add", y, x)
+		}
+		return y
+	}
+	idx := 0
+	for _, blk := range []struct{ t, k, c, n, s int }{
+		{1, 3, 16, 1, 1}, {6, 3, 24, 2, 2}, {6, 5, 40, 2, 2}, {6, 3, 80, 3, 2},
+		{6, 5, 112, 3, 1}, {6, 5, 192, 4, 2}, {6, 3, 320, 1, 1},
+	} {
+		for i := 0; i < blk.n; i++ {
+			stride := blk.s
+			if i > 0 {
+				stride = 1
+			}
+			x = mbconv(x, blk.t, blk.k, blk.c, stride, nameIdx("mbconv", idx))
+			idx++
+		}
+	}
+	x = g.Conv("conv_head", x, 1280, 1, 1, 0, false)
+	x = g.SiLU("head_silu", x, 0.05, 0.05)
+	x = g.GlobalAvgPool("gap", x)
+	x = g.Flatten("flatten", x)
+	g.Dense("fc", x, 1000, false)
+	return g
+}
+
+// TinyCNN builds a small convolutional network used for end-to-end
+// functional validation of the compile-simulate path.
+func TinyCNN() *Graph {
+	g, x := NewGraph("tinycnn", Shape{H: 8, W: 8, C: 4})
+	x = g.Conv("conv1", x, 8, 3, 1, 1, true)
+	x = g.MaxPool("pool1", x, 2, 2, 0)
+	x = g.Conv("conv2", x, 16, 3, 1, 1, true)
+	x = g.GlobalAvgPool("gap", x)
+	x = g.Flatten("flatten", x)
+	g.Dense("fc", x, 10, false)
+	return g
+}
+
+// TinyMLP builds a two-layer perceptron for the smallest validation cases.
+func TinyMLP() *Graph {
+	g, x := NewGraph("tinymlp", Shape{H: 1, W: 1, C: 32})
+	x = g.Dense("fc1", x, 64, true)
+	g.Dense("fc2", x, 10, false)
+	return g
+}
+
+// TinyResNet builds a small residual network exercising Add fusion paths.
+func TinyResNet() *Graph {
+	g, x := NewGraph("tinyresnet", Shape{H: 8, W: 8, C: 8})
+	x = g.Conv("conv1", x, 16, 3, 1, 1, true)
+	y := g.Conv("conv2", x, 16, 3, 1, 1, true)
+	y = g.Conv("conv3", y, 16, 3, 1, 1, false)
+	y = g.Add("add", y, x)
+	y = g.ReLU("relu", y)
+	y = g.GlobalAvgPool("gap", y)
+	y = g.Flatten("flatten", y)
+	g.Dense("fc", y, 10, false)
+	return g
+}
+
+// TinyMobile builds a small inverted-residual network exercising the
+// depthwise and ReLU6 lowering paths.
+func TinyMobile() *Graph {
+	g, x := NewGraph("tinymobile", Shape{H: 12, W: 12, C: 8})
+	x = g.Conv("stem", x, 16, 3, 2, 1, true)
+	y := g.Conv("expand", x, 32, 1, 1, 0, false)
+	y = g.ReLU6("expand_relu6", y, 48)
+	y = g.DWConv("dw", y, 3, 1, 1, false)
+	y = g.ReLU6("dw_relu6", y, 48)
+	y = g.Conv("project", y, 16, 1, 1, 0, false)
+	y = g.Add("res", y, x)
+	d := g.DWConv("dw2", y, 3, 2, 1, false)
+	d = g.GlobalAvgPool("gap", d)
+	d = g.Flatten("flatten", d)
+	g.Dense("fc", d, 10, false)
+	return g
+}
+
+// TinySE builds a small squeeze-excitation block exercising the sigmoid,
+// silu and channel-wise multiply lowering paths.
+func TinySE() *Graph {
+	g, x := NewGraph("tinyse", Shape{H: 8, W: 8, C: 8})
+	x = g.Conv("conv", x, 16, 3, 1, 1, false)
+	x = g.SiLU("conv_silu", x, 0.05, 0.05)
+	se := g.GlobalAvgPool("se_squeeze", x)
+	se = g.Flatten("se_flatten", se)
+	se = g.Dense("se_reduce", se, 4, false)
+	se = g.SiLU("se_silu", se, 0.05, 0.05)
+	se = g.Dense("se_expand", se, 16, false)
+	se = g.Sigmoid("se_gate", se, 0.05, 1.0/64)
+	x = g.Mul("se_scale", x, se)
+	x = g.AvgPool("avgpool", x, 2, 2, 0)
+	x = g.GlobalAvgPool("gap", x)
+	x = g.Flatten("flatten", x)
+	g.Dense("fc", x, 10, false)
+	return g
+}
+
+// Zoo returns the benchmark models by name.
+func Zoo(name string) *Graph {
+	switch name {
+	case "resnet18":
+		return ResNet18()
+	case "vgg19":
+		return VGG19()
+	case "mobilenetv2":
+		return MobileNetV2()
+	case "efficientnetb0":
+		return EfficientNetB0()
+	case "tinycnn":
+		return TinyCNN()
+	case "tinymlp":
+		return TinyMLP()
+	case "tinyresnet":
+		return TinyResNet()
+	case "tinymobile":
+		return TinyMobile()
+	case "tinyse":
+		return TinySE()
+	}
+	return nil
+}
+
+// ZooNames lists the available model names, benchmarks first.
+func ZooNames() []string {
+	return []string{"resnet18", "vgg19", "mobilenetv2", "efficientnetb0",
+		"tinycnn", "tinymlp", "tinyresnet", "tinymobile", "tinyse"}
+}
+
+func nameIdx(prefix string, i int) string {
+	return prefix + "_" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

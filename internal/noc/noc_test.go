@@ -1,0 +1,165 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cimflow/internal/arch"
+)
+
+func newMesh() *Mesh {
+	cfg := arch.DefaultConfig()
+	return New(&cfg)
+}
+
+func TestHops(t *testing.T) {
+	m := newMesh()
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 7, 7}, {0, 8, 1}, {0, 63, 14}, {9, 18, 2},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestFlits(t *testing.T) {
+	m := newMesh() // 8-byte flits
+	cases := []struct {
+		bytes int
+		want  int64
+	}{{1, 2}, {8, 2}, {9, 3}, {64, 9}}
+	for _, c := range cases {
+		if got := m.Flits(c.bytes); got != c.want {
+			t.Errorf("Flits(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestTransferLatencyScalesWithDistance(t *testing.T) {
+	m := newMesh()
+	near := m.Transfer(0, 1, 64, 0)
+	m2 := newMesh()
+	far := m2.Transfer(0, 63, 64, 0)
+	if far <= near {
+		t.Errorf("far transfer (%d) should take longer than near (%d)", far, near)
+	}
+	// Exact: hops*hopLat + flits for an uncontended path.
+	wantNear := int64(2)*2 + 9 // 2 links (east + ejection) x 2 cycles + 9 flits
+	if near != wantNear {
+		t.Errorf("near arrival = %d, want %d", near, wantNear)
+	}
+}
+
+func TestTransferContention(t *testing.T) {
+	// Two messages sharing the 0->1 east link: the second queues.
+	m := newMesh()
+	a := m.Transfer(0, 1, 800, 0)
+	b := m.Transfer(0, 1, 800, 0)
+	if b <= a {
+		t.Errorf("contended transfer should finish later: %d vs %d", b, a)
+	}
+	// Disjoint paths see no interference.
+	m2 := newMesh()
+	first := m2.Transfer(0, 1, 800, 0)
+	other := m2.Transfer(16, 17, 800, 0) // different row
+	if other != first {
+		t.Errorf("disjoint transfers should be identical: %d vs %d", other, first)
+	}
+}
+
+func TestWiderFlitsAreFaster(t *testing.T) {
+	cfg8 := arch.DefaultConfig()
+	cfg16 := cfg8.WithFlitBytes(16)
+	m8, m16 := New(&cfg8), New(&cfg16)
+	t8 := m8.Transfer(0, 5, 4096, 0)
+	t16 := m16.Transfer(0, 5, 4096, 0)
+	if t16 >= t8 {
+		t.Errorf("16-byte flits (%d) should beat 8-byte flits (%d)", t16, t8)
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	m := newMesh()
+	if got := m.Transfer(0, 5, 0, 42); got != 42 {
+		t.Errorf("zero-byte transfer should be free, got %d", got)
+	}
+	if got := m.MemAccess(0, 0, 42); got != 42 {
+		t.Errorf("zero-byte mem access should be free, got %d", got)
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	m := newMesh()
+	got := m.Transfer(3, 3, 64, 10)
+	if got != 10+m.Flits(64) {
+		t.Errorf("loopback = %d, want %d", got, 10+m.Flits(64))
+	}
+}
+
+func TestMemAccessFartherCoreSlower(t *testing.T) {
+	m := newMesh()
+	nearDone := m.MemAccess(0, 256, 0) // column 0
+	m2 := newMesh()
+	farDone := m2.MemAccess(7, 256, 0) // column 7
+	if farDone <= nearDone {
+		t.Errorf("col-7 access (%d) should be slower than col-0 (%d)", farDone, nearDone)
+	}
+	if m.MemBytes != 256 {
+		t.Errorf("MemBytes = %d, want 256", m.MemBytes)
+	}
+}
+
+func TestMemPortSerializes(t *testing.T) {
+	m := newMesh()
+	a := m.MemAccess(0, 4096, 0)
+	b := m.MemAccess(8, 4096, 0) // different row, same shared port
+	if b <= a {
+		t.Errorf("shared memory port must serialize: %d vs %d", b, a)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	m := newMesh()
+	m.Transfer(0, 1, 100, 0)
+	if m.TotalBytes != 100 || m.TotalByteHops != 200 {
+		t.Errorf("bytes=%d hops=%d, want 100/200", m.TotalBytes, m.TotalByteHops)
+	}
+	if m.TotalEnergyPJ <= 0 {
+		t.Error("transfer consumed no energy")
+	}
+	if m.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// Property: arrival is always at least departure + hop latency, and
+// monotone in payload size for a fresh mesh.
+func TestTransferMonotoneProperty(t *testing.T) {
+	f := func(src, dst uint8, size uint16) bool {
+		s, d := int(src%64), int(dst%64)
+		n := int(size%4096) + 1
+		m := newMesh()
+		t1 := m.Transfer(s, d, n, 100)
+		m2 := newMesh()
+		t2 := m2.Transfer(s, d, n+64, 100)
+		return t1 > 100 && t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: routes are XY and have the expected length.
+func TestRouteLengthProperty(t *testing.T) {
+	m := newMesh()
+	f := func(src, dst uint8) bool {
+		s, d := int(src%64), int(dst%64)
+		links := m.route(s, d)
+		return len(links) == m.Hops(s, d)+1 // +1 ejection link
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.Add("short", 1)
+	tb.Add("much-longer-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5 (title, header, rule, 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("rule width %d != header width %d", len(lines[2]), len(lines[1]))
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.Add(3.14159265)
+	tb.Add(float32(2.5))
+	out := tb.String()
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float not formatted to 4 significant digits: %s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("x", "a", "b")
+	tb.Add(`quote"inside`, "with,comma")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma not quoted: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header missing: %s", out)
+	}
+}

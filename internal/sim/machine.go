@@ -1,0 +1,323 @@
+// Package sim is the CIMFlow cycle-accurate simulator: it executes compiled
+// per-core instruction streams functionally (real INT8/INT32 data) while
+// modeling a three-stage pipeline per core, fine-grained unit pipelining
+// with scoreboard interlocks, a contention-aware mesh NoC and a shared
+// global memory, producing cycle, energy and utilization reports.
+//
+// Scheduling is conservative discrete-event: the core with the smallest
+// local time always steps next (ties broken by core id), which keeps NoC
+// link reservations in global time order and makes simulations fully
+// deterministic. Cores block on RECV (until the matching message is
+// delivered) and on BARRIER (until all cores arrive).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/isa"
+	"cimflow/internal/noc"
+)
+
+// Program is the compiled instruction stream of one core.
+type Program struct {
+	Core int
+	Code []isa.Instruction
+}
+
+// GlobalSegment initializes a region of global memory before execution.
+type GlobalSegment struct {
+	Addr int // offset within global memory (not including GlobalBase)
+	Data []byte
+}
+
+// message is an in-flight or delivered core-to-core transfer.
+type message struct {
+	payload []byte
+	arrival int64
+}
+
+type msgKey struct {
+	src, dst int
+	tag      int32
+}
+
+// Chip is one simulation instance.
+type Chip struct {
+	cfg    *arch.Config
+	mesh   *noc.Mesh
+	global []byte
+	cores  []*core
+
+	mailbox map[msgKey][]message
+	ready   coreHeap
+	// barrier bookkeeping: arrivals for the currently forming barrier.
+	barrierWait  []*core
+	barrierMax   int64
+	barrierID    uint16
+	barrierArmed bool
+
+	// CycleLimit aborts runaway simulations; 0 means the default.
+	CycleLimit int64
+
+	// Trace, when set, is called for every executed instruction.
+	Trace func(coreID, pc int, in isa.Instruction, time int64)
+}
+
+// NewChip builds a chip with zeroed global memory and idle cores.
+func NewChip(cfg *arch.Config) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Core.NumMacroGroups > 32 {
+		return nil, fmt.Errorf("sim: %d macro groups exceed the 32-bit MG mask", cfg.Core.NumMacroGroups)
+	}
+	ch := &Chip{
+		cfg:     cfg,
+		mesh:    noc.New(cfg),
+		global:  make([]byte, cfg.Chip.GlobalMemBytes),
+		mailbox: make(map[msgKey][]message),
+	}
+	for i := 0; i < cfg.NumCores(); i++ {
+		ch.cores = append(ch.cores, newCore(i, ch))
+	}
+	return ch, nil
+}
+
+// LoadProgram installs a core's instruction stream, checking it fits the
+// instruction memory.
+func (ch *Chip) LoadProgram(p Program) error {
+	if p.Core < 0 || p.Core >= len(ch.cores) {
+		return fmt.Errorf("sim: program for core %d out of range", p.Core)
+	}
+	if size := len(p.Code) * 4; size > ch.cfg.Core.InstMemBytes {
+		return fmt.Errorf("sim: core %d program is %d bytes, instruction memory holds %d",
+			p.Core, size, ch.cfg.Core.InstMemBytes)
+	}
+	ch.cores[p.Core].code = p.Code
+	return nil
+}
+
+// EnsureGlobal grows global memory to at least size bytes. The paper's
+// 16 MB global memory is modeled as the on-chip tier of a memory system
+// whose capacity extends into DRAM behind the same port; bandwidth and
+// latency follow the configuration either way (see DESIGN.md).
+func (ch *Chip) EnsureGlobal(size int) {
+	if size > len(ch.global) {
+		grown := make([]byte, size)
+		copy(grown, ch.global)
+		ch.global = grown
+	}
+}
+
+// InitGlobal writes an initialization segment into global memory.
+func (ch *Chip) InitGlobal(seg GlobalSegment) error {
+	if seg.Addr < 0 || seg.Addr+len(seg.Data) > len(ch.global) {
+		return fmt.Errorf("sim: global segment [%d, %d) exceeds %d bytes",
+			seg.Addr, seg.Addr+len(seg.Data), len(ch.global))
+	}
+	copy(ch.global[seg.Addr:], seg.Data)
+	return nil
+}
+
+// ReadGlobal copies a region of global memory after execution.
+func (ch *Chip) ReadGlobal(addr, size int) ([]byte, error) {
+	if addr < 0 || addr+size > len(ch.global) {
+		return nil, fmt.Errorf("sim: global read [%d, %d) out of bounds", addr, addr+size)
+	}
+	out := make([]byte, size)
+	copy(out, ch.global[addr:])
+	return out, nil
+}
+
+// ReadLocal copies a region of a core's local memory (for tests and debug).
+func (ch *Chip) ReadLocal(coreID, addr, size int) ([]byte, error) {
+	if coreID < 0 || coreID >= len(ch.cores) {
+		return nil, fmt.Errorf("sim: core %d out of range", coreID)
+	}
+	c := ch.cores[coreID]
+	if addr < 0 || addr+size > len(c.local) {
+		return nil, fmt.Errorf("sim: local read [%d, %d) out of bounds", addr, addr+size)
+	}
+	out := make([]byte, size)
+	copy(out, c.local[addr:])
+	return out, nil
+}
+
+// deliver enqueues a message and wakes a receiver blocked on it.
+func (ch *Chip) deliver(src, dst int, tag int32, payload []byte, arrival int64) {
+	k := msgKey{src, dst, tag}
+	ch.mailbox[k] = append(ch.mailbox[k], message{payload, arrival})
+	rx := ch.cores[dst]
+	if rx.blockSrc == src && rx.blockTag == tag && rx.blocked {
+		rx.blocked = false
+		if arrival > rx.time {
+			rx.time = arrival
+		}
+		ch.ready.push(rx)
+	}
+}
+
+// peek returns the oldest matching message without removing it.
+func (ch *Chip) peek(src, dst int, tag int32) (message, bool) {
+	q := ch.mailbox[msgKey{src, dst, tag}]
+	if len(q) == 0 {
+		return message{}, false
+	}
+	return q[0], true
+}
+
+// pop removes the oldest matching message.
+func (ch *Chip) pop(src, dst int, tag int32) {
+	k := msgKey{src, dst, tag}
+	q := ch.mailbox[k]
+	if len(q) == 1 {
+		delete(ch.mailbox, k)
+	} else {
+		ch.mailbox[k] = q[1:]
+	}
+}
+
+// coreHeap orders runnable cores by (time, id).
+type coreHeap []*core
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h coreHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)    { *h = append(*h, x.(*core)) }
+func (h *coreHeap) Pop() any      { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+func (h *coreHeap) push(c *core)  { heap.Push(h, c) }
+func (h *coreHeap) popMin() *core { return heap.Pop(h).(*core) }
+
+// Run executes all loaded programs to completion and returns the report.
+func (ch *Chip) Run() (*Stats, error) {
+	limit := ch.CycleLimit
+	if limit == 0 {
+		limit = 200_000_000_000
+	}
+	ch.ready = ch.ready[:0]
+	for _, c := range ch.cores {
+		if len(c.code) > 0 {
+			ch.ready.push(c)
+		} else {
+			c.halted = true
+		}
+	}
+	heap.Init(&ch.ready)
+	active := len(ch.ready)
+	if active == 0 {
+		return nil, fmt.Errorf("sim: no programs loaded")
+	}
+
+	for len(ch.ready) > 0 {
+		c := ch.ready.popMin()
+		if c.time > limit {
+			return nil, fmt.Errorf("sim: core %d exceeded the cycle limit %d at pc %d", c.id, limit, c.pc)
+		}
+		if ch.Trace != nil && c.pc < len(c.code) {
+			ch.Trace(c.id, c.pc, c.code[c.pc], c.time)
+		}
+		st, err := c.step()
+		if err != nil {
+			return nil, err
+		}
+		switch st {
+		case stepOK:
+			ch.ready.push(c)
+		case stepBlocked:
+			// Distinguish barrier (pc already advanced past BARRIER) from
+			// recv (pc still at the RECV instruction).
+			if c.pc > 0 && c.code[c.pc-1].Op == isa.OpBarrier {
+				if err := ch.arriveBarrier(c); err != nil {
+					return nil, err
+				}
+			} else {
+				c.blocked = true
+			}
+		case stepHalted:
+			// Core finished; it stays out of the heap.
+		}
+	}
+
+	// All cores must have halted; anything blocked is a deadlock.
+	var stuck []string
+	for _, c := range ch.cores {
+		if !c.halted && len(c.code) > 0 {
+			state := "blocked"
+			if c.blocked {
+				state = fmt.Sprintf("recv(src=%d, tag=%d)", c.blockSrc, c.blockTag)
+			} else if c.inBarrier {
+				state = fmt.Sprintf("barrier(%d)", c.barrierID)
+			}
+			stuck = append(stuck, fmt.Sprintf("core %d pc %d %s", c.id, c.pc, state))
+		}
+	}
+	if len(stuck) > 0 {
+		return nil, fmt.Errorf("sim: deadlock, %d of %d cores stuck: %v", len(stuck), active, stuck)
+	}
+	return ch.collect(), nil
+}
+
+// arriveBarrier registers a core at the chip-wide barrier and releases all
+// cores once the last one arrives.
+func (ch *Chip) arriveBarrier(c *core) error {
+	if ch.barrierArmed && ch.barrierID != c.barrierID {
+		return fmt.Errorf("sim: core %d entered barrier %d while barrier %d is forming",
+			c.id, c.barrierID, ch.barrierID)
+	}
+	ch.barrierArmed = true
+	ch.barrierID = c.barrierID
+	c.inBarrier = true
+	ch.barrierWait = append(ch.barrierWait, c)
+	if c.time > ch.barrierMax {
+		ch.barrierMax = c.time
+	}
+	participants := 0
+	for _, cc := range ch.cores {
+		if len(cc.code) > 0 && !cc.halted {
+			participants++
+		}
+	}
+	if len(ch.barrierWait) < participants {
+		return nil
+	}
+	release := ch.barrierMax + 1
+	for _, cc := range ch.barrierWait {
+		cc.time = release
+		cc.inBarrier = false
+		ch.ready.push(cc)
+	}
+	ch.barrierWait = ch.barrierWait[:0]
+	ch.barrierMax = 0
+	ch.barrierArmed = false
+	return nil
+}
+
+// collect aggregates per-core statistics into the chip report.
+func (ch *Chip) collect() *Stats {
+	s := &Stats{}
+	for _, c := range ch.cores {
+		if c.stats.HaltCycle > s.Cycles {
+			s.Cycles = c.stats.HaltCycle
+		}
+	}
+	leak := ch.cfg.Energy.CoreLeakagePJPerCycle
+	for _, c := range ch.cores {
+		c.stats.Energy.LeakagePJ = leak * float64(s.Cycles)
+		s.Instructions += c.stats.Instructions
+		s.MACs += c.stats.MACs
+		s.Energy.add(&c.stats.Energy)
+		s.Cores = append(s.Cores, c.stats)
+	}
+	s.Energy.NoCPJ = ch.mesh.TotalEnergyPJ
+	s.NoCBytes = ch.mesh.TotalBytes
+	s.NoCByteHops = ch.mesh.TotalByteHops
+	s.GlobalBytes = ch.mesh.MemBytes
+	return s
+}

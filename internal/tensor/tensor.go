@@ -1,0 +1,391 @@
+// Package tensor implements the INT8 quantized tensor math that digital CIM
+// hardware performs: im2col-style convolution with INT32 accumulation and
+// fixed-point requantization. It is the functional golden model against
+// which compiled programs are validated, and it defines the exact
+// requantization arithmetic the simulator's CIM and vector units implement,
+// so both sides share one source of truth.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a channel-last ([H][W][C]) INT8 activation tensor. Vectors and
+// fully-connected activations use H = W = 1.
+type Tensor struct {
+	H, W, C int
+	Data    []int8
+}
+
+// New allocates a zero tensor of the given shape.
+func New(h, w, c int) Tensor {
+	return Tensor{H: h, W: w, C: c, Data: make([]int8, h*w*c)}
+}
+
+// Len returns the number of elements.
+func (t Tensor) Len() int { return t.H * t.W * t.C }
+
+// At returns the element at (y, x, c).
+func (t Tensor) At(y, x, c int) int8 { return t.Data[(y*t.W+x)*t.C+c] }
+
+// Set writes the element at (y, x, c).
+func (t *Tensor) Set(y, x, c int, v int8) { t.Data[(y*t.W+x)*t.C+c] = v }
+
+// ShapeString renders the shape as "HxWxC".
+func (t Tensor) ShapeString() string { return fmt.Sprintf("%dx%dx%d", t.H, t.W, t.C) }
+
+// Sat8 saturates a 32-bit value to the INT8 range.
+func Sat8(v int32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// Requant scales an INT32 accumulator back to INT8 with a fixed-point
+// multiply and arithmetic right shift: sat8((acc * mul) >> shift). This is
+// the writeback arithmetic of CIM_MVM and of the vector unit's VEC_QNT.
+func Requant(acc int32, mul int32, shift uint) int8 {
+	v := int64(acc) * int64(mul) >> shift
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// QuantizeScale converts a real-valued rescale factor into (mul, shift)
+// fixed-point form with mul < 2^15, the representation the compiler loads
+// into SRegQuantMul/SRegQuantShift.
+func QuantizeScale(scale float64) (mul int32, shift uint) {
+	if scale <= 0 {
+		return 0, 0
+	}
+	shift = 0
+	for scale < 1<<14 && shift < 31 {
+		scale *= 2
+		shift++
+	}
+	for scale >= 1<<15 && shift > 0 {
+		scale /= 2
+		shift--
+	}
+	return int32(math.Round(scale)), shift
+}
+
+// Sigmoid8 evaluates a quantized sigmoid: the INT8 input is dequantized with
+// inScale, passed through the real sigmoid, and requantized with outScale.
+// Hardware realizes this as a 256-entry lookup table per (inScale, outScale)
+// pair; the closed form here is the table generator.
+func Sigmoid8(x int8, inScale, outScale float32) int8 {
+	v := 1.0 / (1.0 + math.Exp(-float64(x)*float64(inScale)))
+	return Sat8(int32(math.Round(v / float64(outScale))))
+}
+
+// SiLU8 evaluates a quantized SiLU (x * sigmoid(x)), the swish activation
+// used by EfficientNet.
+func SiLU8(x int8, inScale, outScale float32) int8 {
+	xf := float64(x) * float64(inScale)
+	v := xf / (1.0 + math.Exp(-xf))
+	return Sat8(int32(math.Round(v / float64(outScale))))
+}
+
+// ConvSpec describes a (possibly depthwise) 2D convolution in the weight
+// layout the CIM array uses: the reduction dimension is ordered
+// (kh, kw, cin), matching the hardware's row-gather of kh input-row
+// segments of kw*C contiguous bytes.
+type ConvSpec struct {
+	KH, KW int // kernel size
+	Stride int
+	Pad    int
+	Cin    int
+	Cout   int
+	QMul   int32 // requantization multiplier
+	QShift uint  // requantization shift
+	Relu   bool  // fused ReLU on writeback
+}
+
+// Rows returns the im2col reduction length.
+func (s ConvSpec) Rows() int { return s.KH * s.KW * s.Cin }
+
+// OutDims returns the output spatial dimensions for an input of h x w.
+func (s ConvSpec) OutDims(h, w int) (oh, ow int) {
+	oh = (h+2*s.Pad-s.KH)/s.Stride + 1
+	ow = (w+2*s.Pad-s.KW)/s.Stride + 1
+	return oh, ow
+}
+
+// Conv computes a standard convolution. Weights are row-major
+// [Rows()][Cout] with rows ordered (kh, kw, cin). The accumulator is INT32
+// and the output is requantized exactly as CIM_MVM writeback does.
+func Conv(in Tensor, w []int8, s ConvSpec) (Tensor, error) {
+	if in.C != s.Cin {
+		return Tensor{}, fmt.Errorf("tensor: conv input has %d channels, spec says %d", in.C, s.Cin)
+	}
+	if len(w) != s.Rows()*s.Cout {
+		return Tensor{}, fmt.Errorf("tensor: conv weights have %d elements, want %d", len(w), s.Rows()*s.Cout)
+	}
+	oh, ow := s.OutDims(in.H, in.W)
+	if oh <= 0 || ow <= 0 {
+		return Tensor{}, fmt.Errorf("tensor: conv output %dx%d is empty", oh, ow)
+	}
+	out := New(oh, ow, s.Cout)
+	acc := make([]int32, s.Cout)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for kh := 0; kh < s.KH; kh++ {
+				iy := oy*s.Stride + kh - s.Pad
+				if iy < 0 || iy >= in.H {
+					continue
+				}
+				for kw := 0; kw < s.KW; kw++ {
+					ix := ox*s.Stride + kw - s.Pad
+					if ix < 0 || ix >= in.W {
+						continue
+					}
+					rowBase := ((kh*s.KW + kw) * s.Cin) * s.Cout
+					inBase := (iy*in.W + ix) * in.C
+					for c := 0; c < s.Cin; c++ {
+						iv := int32(in.Data[inBase+c])
+						if iv == 0 {
+							continue
+						}
+						wRow := w[rowBase+c*s.Cout : rowBase+(c+1)*s.Cout]
+						for co := range acc {
+							acc[co] += iv * int32(wRow[co])
+						}
+					}
+				}
+			}
+			outBase := (oy*ow + ox) * s.Cout
+			for co, a := range acc {
+				v := Requant(a, s.QMul, s.QShift)
+				if s.Relu && v < 0 {
+					v = 0
+				}
+				out.Data[outBase+co] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// DepthwiseConv computes a depthwise convolution. Weights are
+// [KH*KW][C] row-major, ordered (kh, kw), matching the vector unit's
+// per-tap multiply-accumulate lowering.
+func DepthwiseConv(in Tensor, w []int8, s ConvSpec) (Tensor, error) {
+	if in.C != s.Cin || s.Cin != s.Cout {
+		return Tensor{}, fmt.Errorf("tensor: depthwise needs Cin == Cout == input channels (%d, %d, %d)",
+			in.C, s.Cin, s.Cout)
+	}
+	if len(w) != s.KH*s.KW*s.Cin {
+		return Tensor{}, fmt.Errorf("tensor: depthwise weights have %d elements, want %d", len(w), s.KH*s.KW*s.Cin)
+	}
+	oh, ow := s.OutDims(in.H, in.W)
+	out := New(oh, ow, s.Cout)
+	acc := make([]int32, s.Cout)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for kh := 0; kh < s.KH; kh++ {
+				iy := oy*s.Stride + kh - s.Pad
+				if iy < 0 || iy >= in.H {
+					continue
+				}
+				for kw := 0; kw < s.KW; kw++ {
+					ix := ox*s.Stride + kw - s.Pad
+					if ix < 0 || ix >= in.W {
+						continue
+					}
+					tap := (kh*s.KW + kw) * s.Cin
+					inBase := (iy*in.W + ix) * in.C
+					for c := 0; c < s.Cin; c++ {
+						acc[c] += int32(in.Data[inBase+c]) * int32(w[tap+c])
+					}
+				}
+			}
+			outBase := (oy*ow + ox) * s.Cout
+			for c, a := range acc {
+				v := Requant(a, s.QMul, s.QShift)
+				if s.Relu && v < 0 {
+					v = 0
+				}
+				out.Data[outBase+c] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dense computes a fully-connected layer on a flattened input: weights are
+// [Cin][Cout] row-major.
+func Dense(in Tensor, w []int8, cout int, qmul int32, qshift uint, relu bool) (Tensor, error) {
+	cin := in.Len()
+	if len(w) != cin*cout {
+		return Tensor{}, fmt.Errorf("tensor: dense weights have %d elements, want %d", len(w), cin*cout)
+	}
+	out := New(1, 1, cout)
+	for co := 0; co < cout; co++ {
+		var acc int32
+		for ci := 0; ci < cin; ci++ {
+			acc += int32(in.Data[ci]) * int32(w[ci*cout+co])
+		}
+		v := Requant(acc, qmul, qshift)
+		if relu && v < 0 {
+			v = 0
+		}
+		out.Data[co] = v
+	}
+	return out, nil
+}
+
+// MaxPool computes a max pooling with the given window and stride.
+func MaxPool(in Tensor, k, stride, pad int) Tensor {
+	oh := (in.H+2*pad-k)/stride + 1
+	ow := (in.W+2*pad-k)/stride + 1
+	out := New(oh, ow, in.C)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < in.C; c++ {
+				best := int8(-128)
+				for kh := 0; kh < k; kh++ {
+					iy := oy*stride + kh - pad
+					if iy < 0 || iy >= in.H {
+						continue
+					}
+					for kw := 0; kw < k; kw++ {
+						ix := ox*stride + kw - pad
+						if ix < 0 || ix >= in.W {
+							continue
+						}
+						if v := in.At(iy, ix, c); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(oy, ox, c, best)
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool computes an average pooling; the window sum is requantized with
+// (qmul, qshift), which fold in the 1/window-size factor.
+func AvgPool(in Tensor, k, stride, pad int, qmul int32, qshift uint) Tensor {
+	oh := (in.H+2*pad-k)/stride + 1
+	ow := (in.W+2*pad-k)/stride + 1
+	out := New(oh, ow, in.C)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < in.C; c++ {
+				var sum int32
+				for kh := 0; kh < k; kh++ {
+					iy := oy*stride + kh - pad
+					if iy < 0 || iy >= in.H {
+						continue
+					}
+					for kw := 0; kw < k; kw++ {
+						ix := ox*stride + kw - pad
+						if ix < 0 || ix >= in.W {
+							continue
+						}
+						sum += int32(in.At(iy, ix, c))
+					}
+				}
+				out.Set(oy, ox, c, Requant(sum, qmul, qshift))
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool reduces each channel over all spatial positions; (qmul,
+// qshift) fold in the 1/(H*W) factor.
+func GlobalAvgPool(in Tensor, qmul int32, qshift uint) Tensor {
+	out := New(1, 1, in.C)
+	for c := 0; c < in.C; c++ {
+		var sum int32
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				sum += int32(in.At(y, x, c))
+			}
+		}
+		out.Data[c] = Requant(sum, qmul, qshift)
+	}
+	return out
+}
+
+// ReLU applies max(x, 0) elementwise.
+func ReLU(in Tensor) Tensor {
+	out := New(in.H, in.W, in.C)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// ReLU6 applies clamp(x, 0, q6) elementwise, with q6 the quantized value
+// of 6.0 in the tensor's scale.
+func ReLU6(in Tensor, q6 int8) Tensor {
+	out := New(in.H, in.W, in.C)
+	for i, v := range in.Data {
+		switch {
+		case v < 0:
+		case v > q6:
+			out.Data[i] = q6
+		default:
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// QAdd computes the quantized residual addition
+// sat8((a*mulA + b*mulB) >> shift), the VEC_QADD semantics.
+func QAdd(a, b Tensor, mulA, mulB int32, shift uint) (Tensor, error) {
+	if a.Len() != b.Len() {
+		return Tensor{}, fmt.Errorf("tensor: qadd shapes %s and %s differ", a.ShapeString(), b.ShapeString())
+	}
+	out := New(a.H, a.W, a.C)
+	for i := range a.Data {
+		out.Data[i] = Sat8((int32(a.Data[i])*mulA + int32(b.Data[i])*mulB) >> shift)
+	}
+	return out, nil
+}
+
+// QMulBroadcast computes the quantized channel-wise product
+// sat8((a[y,x,c] * se[c] * mul) >> shift), the squeeze-excite scaling.
+func QMulBroadcast(a, se Tensor, mul int32, shift uint) (Tensor, error) {
+	if se.Len() != a.C {
+		return Tensor{}, fmt.Errorf("tensor: scale vector has %d elements, want %d channels", se.Len(), a.C)
+	}
+	out := New(a.H, a.W, a.C)
+	for i := range a.Data {
+		c := i % a.C
+		out.Data[i] = Requant(int32(a.Data[i])*int32(se.Data[c]), mul, shift)
+	}
+	return out, nil
+}
+
+// MapUnary applies a quantized activation pointwise.
+func MapUnary(in Tensor, f func(int8) int8) Tensor {
+	out := New(in.H, in.W, in.C)
+	for i, v := range in.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}

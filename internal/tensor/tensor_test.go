@@ -1,0 +1,338 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSat8(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want int8
+	}{
+		{0, 0}, {127, 127}, {128, 127}, {1 << 20, 127},
+		{-128, -128}, {-129, -128}, {-(1 << 20), -128}, {5, 5}, {-7, -7},
+	}
+	for _, c := range cases {
+		if got := Sat8(c.in); got != c.want {
+			t.Errorf("Sat8(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRequant(t *testing.T) {
+	// (1000 * 16384) >> 21 = 7
+	if got := Requant(1000, 16384, 21); got != 7 {
+		t.Errorf("Requant = %d, want 7", got)
+	}
+	if got := Requant(-1000, 16384, 21); got != -8 {
+		t.Errorf("Requant = %d, want -8 (arithmetic shift floors)", got)
+	}
+	if got := Requant(1<<30, 1<<14, 10); got != 127 {
+		t.Errorf("Requant = %d, want saturated 127", got)
+	}
+}
+
+func TestQuantizeScaleProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		scale := float64(raw%10000+1) / 7919.0 // (0, ~1.26]
+		mul, shift := QuantizeScale(scale)
+		if mul <= 0 || mul >= 1<<15 {
+			return false
+		}
+		// The fixed-point form must approximate the real scale within 2^-13.
+		approx := float64(mul) / float64(int64(1)<<shift)
+		rel := (approx - scale) / scale
+		return rel < 1e-4 && rel > -1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if mul, shift := QuantizeScale(0); mul != 0 || shift != 0 {
+		t.Error("QuantizeScale(0) should return zeros")
+	}
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	// A 1x1 conv with identity weights and unit requant reproduces the input.
+	in := New(3, 3, 2)
+	for i := range in.Data {
+		in.Data[i] = int8(i - 9)
+	}
+	w := []int8{1, 0, 0, 1} // rows=(cin)=2, cout=2 identity
+	out, err := Conv(in, w, ConvSpec{KH: 1, KW: 1, Stride: 1, Cin: 2, Cout: 2, QMul: 1, QShift: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatalf("identity conv changed element %d: %d -> %d", i, in.Data[i], out.Data[i])
+		}
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 2x2 input, 2x2 kernel, one channel: plain dot product.
+	in := New(2, 2, 1)
+	copy(in.Data, []int8{1, 2, 3, 4})
+	w := []int8{1, 1, 1, 1} // rows=(kh,kw,cin)=4, cout=1
+	out, err := Conv(in, w, ConvSpec{KH: 2, KW: 2, Stride: 1, Cin: 1, Cout: 1, QMul: 1, QShift: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.H != 1 || out.W != 1 || out.Data[0] != 10 {
+		t.Errorf("conv = %v (%dx%d), want [10] 1x1", out.Data, out.H, out.W)
+	}
+}
+
+func TestConvPaddingAndStride(t *testing.T) {
+	in := New(4, 4, 1)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	w := make([]int8, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	out, err := Conv(in, w, ConvSpec{KH: 3, KW: 3, Stride: 2, Pad: 1, Cin: 1, Cout: 1, QMul: 1, QShift: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("output %dx%d, want 2x2", out.H, out.W)
+	}
+	// Corner (0,0) sees a 2x2 valid window; center taps all valid.
+	if out.At(0, 0, 0) != 4 {
+		t.Errorf("corner = %d, want 4", out.At(0, 0, 0))
+	}
+	if out.At(1, 1, 0) != 9 {
+		t.Errorf("center = %d, want 9", out.At(1, 1, 0))
+	}
+}
+
+func TestConvReluFusion(t *testing.T) {
+	in := New(1, 1, 1)
+	in.Data[0] = -5
+	w := []int8{3}
+	out, err := Conv(in, w, ConvSpec{KH: 1, KW: 1, Stride: 1, Cin: 1, Cout: 1, QMul: 1, QShift: 0, Relu: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 0 {
+		t.Errorf("fused relu output = %d, want 0", out.Data[0])
+	}
+}
+
+func TestConvErrors(t *testing.T) {
+	in := New(2, 2, 3)
+	if _, err := Conv(in, nil, ConvSpec{KH: 1, KW: 1, Stride: 1, Cin: 4, Cout: 1}); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+	if _, err := Conv(in, []int8{1}, ConvSpec{KH: 1, KW: 1, Stride: 1, Cin: 3, Cout: 1}); err == nil {
+		t.Error("weight size mismatch accepted")
+	}
+	if _, err := Conv(in, make([]int8, 75), ConvSpec{KH: 5, KW: 5, Stride: 1, Cin: 3, Cout: 1}); err == nil {
+		t.Error("empty output accepted")
+	}
+}
+
+func TestDepthwiseMatchesGroupedConv(t *testing.T) {
+	// Depthwise = standard conv with block-diagonal weights.
+	rng := rand.New(rand.NewSource(7))
+	in := New(5, 5, 4)
+	for i := range in.Data {
+		in.Data[i] = int8(rng.Intn(21) - 10)
+	}
+	dw := make([]int8, 9*4)
+	for i := range dw {
+		dw[i] = int8(rng.Intn(7) - 3)
+	}
+	spec := ConvSpec{KH: 3, KW: 3, Stride: 1, Pad: 1, Cin: 4, Cout: 4, QMul: 1, QShift: 2}
+	got, err := DepthwiseConv(in, dw, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expand to a dense kernel with zeros off the diagonal.
+	dense := make([]int8, 9*4*4)
+	for tap := 0; tap < 9; tap++ {
+		for c := 0; c < 4; c++ {
+			dense[(tap*4+c)*4+c] = dw[tap*4+c]
+		}
+	}
+	want, err := Conv(in, dense, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: depthwise %d != dense %d", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestDepthwiseErrors(t *testing.T) {
+	in := New(2, 2, 3)
+	if _, err := DepthwiseConv(in, nil, ConvSpec{KH: 1, KW: 1, Stride: 1, Cin: 3, Cout: 4}); err == nil {
+		t.Error("Cin != Cout accepted")
+	}
+	if _, err := DepthwiseConv(in, []int8{1}, ConvSpec{KH: 3, KW: 3, Stride: 1, Pad: 1, Cin: 3, Cout: 3}); err == nil {
+		t.Error("weight size mismatch accepted")
+	}
+}
+
+func TestDenseKnownValues(t *testing.T) {
+	in := New(1, 1, 3)
+	copy(in.Data, []int8{1, 2, 3})
+	w := []int8{ // 3x2
+		1, 4,
+		2, 5,
+		3, 6,
+	}
+	out, err := Dense(in, w, 2, 1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 14 || out.Data[1] != 32 {
+		t.Errorf("dense = %v, want [14 32]", out.Data)
+	}
+	if _, err := Dense(in, w[:5], 2, 1, 0, false); err == nil {
+		t.Error("weight size mismatch accepted")
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := New(4, 4, 1)
+	for i := range in.Data {
+		in.Data[i] = int8(i)
+	}
+	out := MaxPool(in, 2, 2, 0)
+	want := []int8{5, 7, 13, 15}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Errorf("maxpool[%d] = %d, want %d", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestMaxPoolPadding(t *testing.T) {
+	in := New(2, 2, 1)
+	copy(in.Data, []int8{-3, -5, -7, -9})
+	out := MaxPool(in, 3, 2, 1)
+	if out.H != 1 || out.W != 1 || out.Data[0] != -3 {
+		t.Errorf("padded maxpool = %v, want [-3]", out.Data)
+	}
+}
+
+func TestAvgPoolAndGlobal(t *testing.T) {
+	in := New(2, 2, 1)
+	copy(in.Data, []int8{1, 2, 3, 4})
+	// Average of 4 elements: fold 1/4 into shift 2.
+	out := AvgPool(in, 2, 2, 0, 1, 2)
+	if out.Data[0] != 2 {
+		t.Errorf("avgpool = %d, want 2 (10 >> 2)", out.Data[0])
+	}
+	g := GlobalAvgPool(in, 1, 2)
+	if g.H != 1 || g.W != 1 || g.Data[0] != 2 {
+		t.Errorf("globalavg = %v, want [2]", g.Data)
+	}
+}
+
+func TestReLUVariants(t *testing.T) {
+	in := New(1, 1, 4)
+	copy(in.Data, []int8{-5, 0, 3, 100})
+	r := ReLU(in)
+	if r.Data[0] != 0 || r.Data[3] != 100 {
+		t.Errorf("relu = %v", r.Data)
+	}
+	r6 := ReLU6(in, 48)
+	if r6.Data[0] != 0 || r6.Data[2] != 3 || r6.Data[3] != 48 {
+		t.Errorf("relu6 = %v, want [0 0 3 48]", r6.Data)
+	}
+}
+
+func TestQAdd(t *testing.T) {
+	a := New(1, 1, 2)
+	b := New(1, 1, 2)
+	copy(a.Data, []int8{10, -10})
+	copy(b.Data, []int8{6, 6})
+	out, err := QAdd(a, b, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 13 || out.Data[1] != -7 {
+		t.Errorf("qadd = %v, want [13 -7]", out.Data)
+	}
+	if _, err := QAdd(a, New(1, 1, 3), 1, 1, 0); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestQMulBroadcast(t *testing.T) {
+	a := New(1, 2, 2)
+	copy(a.Data, []int8{10, 20, 30, 40})
+	se := New(1, 1, 2)
+	copy(se.Data, []int8{2, 4})
+	out, err := QMulBroadcast(a, se, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int8{10, 40, 30, 80}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Errorf("qmul[%d] = %d, want %d", i, out.Data[i], v)
+		}
+	}
+	if _, err := QMulBroadcast(a, New(1, 1, 3), 1, 1); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}
+
+func TestSigmoidSiLUMonotone(t *testing.T) {
+	prevS, prevL := int8(-128), int8(-128)
+	for x := -128; x < 128; x++ {
+		s := Sigmoid8(int8(x), 0.05, 1.0/128)
+		l := SiLU8(int8(x), 0.05, 0.05)
+		if s < prevS {
+			t.Fatalf("sigmoid not monotone at %d", x)
+		}
+		if x > 32 && l < prevL {
+			t.Fatalf("silu not monotone for positive inputs at %d", x)
+		}
+		prevS, prevL = s, l
+	}
+	if got := Sigmoid8(0, 0.05, 1.0/128); got != 64 {
+		t.Errorf("sigmoid(0) = %d, want 64 (0.5/ (1/128))", got)
+	}
+}
+
+// TestConvLinearity: conv is linear in the input before requantization, so
+// with QShift 0, QMul 1, conv(a+b) == conv(a)+conv(b) when no saturation
+// occurs. Property-checked on small random tensors.
+func TestConvLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	spec := ConvSpec{KH: 3, KW: 3, Stride: 1, Pad: 1, Cin: 2, Cout: 3, QMul: 1, QShift: 0}
+	w := make([]int8, spec.Rows()*spec.Cout)
+	for i := range w {
+		w[i] = int8(rng.Intn(3) - 1)
+	}
+	for trial := 0; trial < 20; trial++ {
+		a, b := New(4, 4, 2), New(4, 4, 2)
+		for i := range a.Data {
+			a.Data[i] = int8(rng.Intn(5) - 2)
+			b.Data[i] = int8(rng.Intn(5) - 2)
+		}
+		sum := New(4, 4, 2)
+		for i := range sum.Data {
+			sum.Data[i] = a.Data[i] + b.Data[i]
+		}
+		ca, _ := Conv(a, w, spec)
+		cb, _ := Conv(b, w, spec)
+		cs, _ := Conv(sum, w, spec)
+		for i := range cs.Data {
+			if int(cs.Data[i]) != int(ca.Data[i])+int(cb.Data[i]) {
+				t.Fatalf("trial %d element %d: %d != %d + %d", trial, i, cs.Data[i], ca.Data[i], cb.Data[i])
+			}
+		}
+	}
+}
