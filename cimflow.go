@@ -21,9 +21,12 @@
 package cimflow
 
 import (
+	"context"
+
 	"cimflow/internal/arch"
 	"cimflow/internal/compiler"
 	"cimflow/internal/core"
+	"cimflow/internal/dse"
 	"cimflow/internal/model"
 	"cimflow/internal/report"
 	"cimflow/internal/sim"
@@ -98,28 +101,116 @@ func Run(g *Graph, cfg Config, opt Options) (*Result, error) { return core.Run(g
 // against the golden reference executor, returning the mismatch count.
 func Validate(g *Graph, cfg Config, opt Options) (int, error) { return core.Validate(g, cfg, opt) }
 
-// Experiment runners regenerating the paper's evaluation (Sec. IV).
+// --- Design-space exploration (internal/dse) ---
+
+// Re-exported DSE types. A SweepSpec declares axes over models, strategies
+// and hardware knobs; Sweep runs its cross-product on a worker pool with
+// compile caching; ParetoFront and BestPoint summarize the landscape.
+type (
+	// SweepSpec is a declarative design-space sweep (JSON-serializable).
+	SweepSpec = dse.Spec
+	// SweepPoint is one fully-resolved point of an expanded sweep.
+	SweepPoint = dse.Point
+	// SweepResult is the outcome of one simulated sweep point.
+	SweepResult = dse.PointResult
+	// SweepMetrics is the serializable metric summary of one point.
+	SweepMetrics = dse.Metrics
+	// SweepOptions configures parallelism, caching and checkpointing.
+	SweepOptions = dse.RunOptions
+	// CompileCache deduplicates compilation across sweep points.
+	CompileCache = dse.CompileCache
+	// SweepCheckpoint persists partial sweeps for resume.
+	SweepCheckpoint = dse.Checkpoint
+)
+
+// NewCompileCache returns an empty compile cache to share across sweeps.
+func NewCompileCache() *CompileCache { return dse.NewCompileCache() }
+
+// Sweep expands a spec against its base configuration and runs every point
+// on the DSE worker pool.
+func Sweep(ctx context.Context, spec *SweepSpec, opt SweepOptions) ([]SweepResult, error) {
+	return dse.Sweep(ctx, spec, opt)
+}
+
+// RunSweep executes pre-expanded points (see SweepSpec.Expand).
+func RunSweep(ctx context.Context, points []SweepPoint, opt SweepOptions) ([]SweepResult, error) {
+	return dse.Run(ctx, points, opt)
+}
+
+// ParetoFront returns the energy/throughput Pareto-optimal results.
+func ParetoFront(results []SweepResult) []SweepResult { return dse.ParetoFront(results) }
+
+// BestPoint returns the successful result maximizing score; ScoreTOPS,
+// ScoreEnergy and ScoreEDP are ready-made objectives.
+func BestPoint(results []SweepResult, score func(SweepMetrics) float64) (SweepResult, bool) {
+	return dse.Best(results, score)
+}
+
+// Ready-made best-point objectives for BestPoint.
+var (
+	// ScoreTOPS maximizes throughput.
+	ScoreTOPS = dse.ScoreTOPS
+	// ScoreEnergy minimizes total energy.
+	ScoreEnergy = dse.ScoreEnergy
+	// ScoreEDP minimizes the energy-delay product.
+	ScoreEDP = dse.ScoreEDP
+)
+
+// SweepTable renders sweep results with knobs, metrics and Pareto markers.
+func SweepTable(title string, results []SweepResult) *Table {
+	return dse.ResultTable(title, results)
+}
+
+// ConfigFingerprint returns the stable hardware identity hash used by the
+// compile cache and sweep checkpoints.
+func ConfigFingerprint(cfg *Config) string { return dse.Fingerprint(cfg) }
+
+// Experiment runners regenerating the paper's evaluation (Sec. IV), built
+// on the DSE engine: parallel underneath, rows identical to the historical
+// serial implementation.
 var (
 	// Fig5Models / Fig6MGSizes / Fig6Flits are the paper's sweep axes.
-	Fig5Models  = core.Fig5Models
-	Fig6MGSizes = core.Fig6MGSizes
-	Fig6Flits   = core.Fig6Flits
+	Fig5Models  = dse.Fig5Models
+	Fig6MGSizes = dse.Fig6MGSizes
+	Fig6Flits   = dse.Fig6Flits
 )
 
 // RunFig5 regenerates Fig. 5 (compilation strategies comparison).
-func RunFig5(cfg Config, models []string) ([]core.Fig5Row, error) { return core.RunFig5(cfg, models) }
+func RunFig5(cfg Config, models []string) ([]dse.Fig5Row, error) {
+	return dse.RunFig5(cfg, models, dse.RunOptions{})
+}
 
 // RunFig6 regenerates Fig. 6 (MG size x flit width exploration).
-func RunFig6(cfg Config, models []string) ([]core.Fig6Row, error) { return core.RunFig6(cfg, models) }
+func RunFig6(cfg Config, models []string) ([]dse.Fig6Row, error) {
+	return dse.RunFig6(cfg, models, dse.RunOptions{})
+}
 
 // RunFig7 regenerates Fig. 7 (SW/HW co-design space).
-func RunFig7(cfg Config, models []string) ([]core.Fig7Row, error) { return core.RunFig7(cfg, models) }
+func RunFig7(cfg Config, models []string) ([]dse.Fig7Row, error) {
+	return dse.RunFig7(cfg, models, dse.RunOptions{})
+}
+
+// RunFig5With / RunFig6With / RunFig7With expose the engine's parallelism,
+// cache sharing and checkpointing to figure regeneration (cimflow-bench -j).
+func RunFig5With(cfg Config, models []string, opt SweepOptions) ([]dse.Fig5Row, error) {
+	return dse.RunFig5(cfg, models, opt)
+}
+
+// RunFig6With regenerates Fig. 6 with explicit sweep options.
+func RunFig6With(cfg Config, models []string, opt SweepOptions) ([]dse.Fig6Row, error) {
+	return dse.RunFig6(cfg, models, opt)
+}
+
+// RunFig7With regenerates Fig. 7 with explicit sweep options.
+func RunFig7With(cfg Config, models []string, opt SweepOptions) ([]dse.Fig7Row, error) {
+	return dse.RunFig7(cfg, models, opt)
+}
 
 // Fig5Table / Fig6Table / Fig7Table render experiment rows as tables.
-func Fig5Table(rows []core.Fig5Row) *Table { return core.Fig5Table(rows) }
+func Fig5Table(rows []dse.Fig5Row) *Table { return dse.Fig5Table(rows) }
 
 // Fig6Table renders Fig. 6 rows.
-func Fig6Table(rows []core.Fig6Row) *Table { return core.Fig6Table(rows) }
+func Fig6Table(rows []dse.Fig6Row) *Table { return dse.Fig6Table(rows) }
 
 // Fig7Table renders Fig. 7 rows.
-func Fig7Table(rows []core.Fig7Row) *Table { return core.Fig7Table(rows) }
+func Fig7Table(rows []dse.Fig7Row) *Table { return dse.Fig7Table(rows) }

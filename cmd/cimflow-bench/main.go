@@ -3,8 +3,12 @@
 //	cimflow-bench -fig 5             # compilation strategies (Fig. 5)
 //	cimflow-bench -fig 6             # MG size x flit sweep (Fig. 6)
 //	cimflow-bench -fig 7             # SW/HW co-design space (Fig. 7)
+//	cimflow-bench -fig all -j 8      # everything, 8 sweep workers
 //	cimflow-bench -fig all -csv out/ # everything, also as CSV files
 //
+// Figures run on the DSE engine's worker pool (-j controls parallelism;
+// rows are deterministic at any setting) and share one compile cache, so
+// Fig. 7 reuses every generic-strategy artifact Fig. 6 already compiled.
 // Each figure prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the measured-vs-paper comparison.
 package main
@@ -24,6 +28,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 5 | 6 | 7 | all")
 	models := flag.String("models", "", "comma-separated model subset (default: the figure's models)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	workers := flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var subset []string
@@ -31,36 +36,48 @@ func main() {
 		subset = strings.Split(*models, ",")
 	}
 	cfg := cimflow.DefaultConfig()
+	cache := cimflow.NewCompileCache()
+	opt := cimflow.SweepOptions{Workers: *workers, Cache: cache}
+
+	fail := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"cimflow-bench:"}, args...)...)
+		os.Exit(1)
+	}
+	writeCSV := func(name string, t *cimflow.Table) error {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
 	run := func(name string, f func() (*cimflow.Table, error)) {
 		start := time.Now()
+		compiles, hits := cache.CompileCalls(), cache.Hits()
 		t, err := f()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cimflow-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			fail(name+":", err)
 		}
 		t.Write(os.Stdout)
-		fmt.Printf("(%s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v; %d compiles, %d cache hits)\n\n",
+			name, time.Since(start).Round(time.Millisecond),
+			cache.CompileCalls()-compiles, cache.Hits()-hits)
 		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "cimflow-bench:", err)
-				os.Exit(1)
-			}
-			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cimflow-bench:", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			if err := t.WriteCSV(f); err != nil {
-				fmt.Fprintln(os.Stderr, "cimflow-bench:", err)
-				os.Exit(1)
+			if err := writeCSV(name, t); err != nil {
+				fail(err)
 			}
 		}
 	}
 	want := func(n string) bool { return *fig == "all" || *fig == n }
 	if want("5") {
 		run("fig5", func() (*cimflow.Table, error) {
-			rows, err := cimflow.RunFig5(cfg, subset)
+			rows, err := cimflow.RunFig5With(cfg, subset, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -69,7 +86,7 @@ func main() {
 	}
 	if want("6") {
 		run("fig6", func() (*cimflow.Table, error) {
-			rows, err := cimflow.RunFig6(cfg, subset)
+			rows, err := cimflow.RunFig6With(cfg, subset, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -78,7 +95,7 @@ func main() {
 	}
 	if want("7") {
 		run("fig7", func() (*cimflow.Table, error) {
-			rows, err := cimflow.RunFig7(cfg, subset)
+			rows, err := cimflow.RunFig7With(cfg, subset, opt)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,173 @@
+// Command cimflow-dse runs a declarative design-space exploration sweep
+// from a JSON spec: the cross-product of models, compilation strategies
+// and hardware knobs (MG size, NoC flit width, core mesh, local memory)
+// simulated on a parallel worker pool with compile caching, then analyzed
+// for the energy/throughput Pareto frontier and best points.
+//
+//	cimflow-dse -example > sweep.json       # print a template spec
+//	cimflow-dse -spec sweep.json            # run it (all cores)
+//	cimflow-dse -spec sweep.json -j 4       # bounded parallelism
+//	cimflow-dse -spec sweep.json -csv out.csv
+//	cimflow-dse -spec sweep.json -checkpoint state.json   # resumable
+//	cimflow-dse -spec sweep.json -pareto    # frontier rows only
+//
+// The spec format (all axes optional except models; empty axes keep the
+// base configuration's value):
+//
+//	{
+//	  "name": "fig7-mini",
+//	  "models": ["mobilenetv2"],
+//	  "strategies": ["generic", "dp"],
+//	  "mg_sizes": [4, 8, 16],
+//	  "flit_bytes": [8, 16],
+//	  "core_meshes": [[8, 8], [4, 4]],
+//	  "local_mem_kb": [256, 512],
+//	  "seed": 1,
+//	  "base": { "clock_ghz": 1.0 }
+//	}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"cimflow"
+	"cimflow/internal/dse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cimflow-dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	specPath := flag.String("spec", "", "sweep spec JSON file (required unless -example)")
+	workers := flag.Int("j", 0, "worker-pool size (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "write the result table as CSV to this file")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file: resume done points, record progress")
+	paretoOnly := flag.Bool("pareto", false, "print only the Pareto-optimal rows")
+	quiet := flag.Bool("q", false, "suppress per-point progress lines")
+	example := flag.Bool("example", false, "print a template spec and exit")
+	flag.Parse()
+
+	if *example {
+		data, err := json.MarshalIndent(dse.ExampleSpec(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if *specPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-spec is required")
+	}
+	spec, err := dse.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	base, err := spec.BaseConfig()
+	if err != nil {
+		return err
+	}
+	points, err := spec.Expand(base)
+	if err != nil {
+		return err
+	}
+
+	opt := cimflow.SweepOptions{Workers: *workers, Cache: cimflow.NewCompileCache()}
+	if *ckptPath != "" {
+		ckpt, err := dse.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			return err
+		}
+		if n := ckpt.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d point(s) already in %s\n", n, *ckptPath)
+		}
+		opt.Checkpoint = ckpt
+	}
+	done := 0
+	if !*quiet {
+		opt.OnResult = func(r cimflow.SweepResult) {
+			done++
+			status := fmt.Sprintf("%8d cyc  %6.3f TOPS  %8.4f mJ",
+				r.Metrics.Cycles, r.Metrics.TOPS, r.Metrics.EnergyMJ)
+			if r.Err != nil {
+				status = "ERROR " + r.Err.Error()
+			} else if r.Cached {
+				status += "  (checkpoint)"
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-40s %s\n", done, len(points), r.Point.Label(), status)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	results, runErr := cimflow.RunSweep(ctx, points, opt)
+	if opt.Checkpoint != nil {
+		if err := opt.Checkpoint.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "cimflow-dse:", err)
+		}
+	}
+	if runErr != nil {
+		return fmt.Errorf("sweep interrupted: %w (progress saved, re-run to resume)", runErr)
+	}
+
+	title := spec.Name
+	if title == "" {
+		title = "design-space sweep"
+	}
+	rows := results
+	if *paretoOnly {
+		rows = cimflow.ParetoFront(results)
+		title += " (Pareto frontier)"
+	}
+	table := cimflow.SweepTable(title, rows)
+	table.Write(os.Stdout)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	cache := opt.Cache
+	fmt.Printf("\n%d point(s) in %v: %d compiles, %d cache hits, %d failed\n",
+		len(results), time.Since(start).Round(time.Millisecond),
+		cache.CompileCalls(), cache.Hits(), failed)
+	printBest := func(name string, score func(cimflow.SweepMetrics) float64) {
+		if b, ok := cimflow.BestPoint(results, score); ok {
+			fmt.Printf("best %-7s %-40s %8.3f TOPS  %10.4f mJ\n",
+				name, b.Point.Label(), b.Metrics.TOPS, b.Metrics.EnergyMJ)
+		}
+	}
+	printBest("tops", dse.ScoreTOPS)
+	printBest("energy", dse.ScoreEnergy)
+	printBest("edp", dse.ScoreEDP)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := table.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if failed == len(results) && len(results) > 0 {
+		return fmt.Errorf("every point failed")
+	}
+	return nil
+}

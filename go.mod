@@ -1,0 +1,3 @@
+module cimflow
+
+go 1.24

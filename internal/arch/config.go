@@ -272,6 +272,23 @@ func (c Config) WithFlitBytes(b int) Config {
 	return c
 }
 
+// WithCoreMesh returns a copy of the configuration with the core array
+// dimensions changed: the core-count design knob of the DSE engine.
+func (c Config) WithCoreMesh(rows, cols int) Config {
+	c.Chip.CoreRows = rows
+	c.Chip.CoreCols = cols
+	c.Name = fmt.Sprintf("%s-mesh%dx%d", c.Name, rows, cols)
+	return c
+}
+
+// WithLocalMemBytes returns a copy of the configuration with the per-core
+// local memory capacity changed, keeping the segment count fixed.
+func (c Config) WithLocalMemBytes(b int) Config {
+	c.Core.LocalMemBytes = b
+	c.Name = fmt.Sprintf("%s-lm%dK", c.Name, b>>10)
+	return c
+}
+
 // Load reads a JSON architecture configuration from path. Missing fields
 // inherit the defaults, so a config file only needs to state deviations.
 func Load(path string) (Config, error) {

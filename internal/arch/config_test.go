@@ -103,6 +103,38 @@ func TestWithFlitBytes(t *testing.T) {
 	}
 }
 
+func TestWithCoreMesh(t *testing.T) {
+	c := DefaultConfig().WithCoreMesh(4, 2)
+	if c.Chip.CoreRows != 4 || c.Chip.CoreCols != 2 {
+		t.Errorf("mesh = %dx%d, want 4x2", c.Chip.CoreRows, c.Chip.CoreCols)
+	}
+	if c.NumCores() != 8 {
+		t.Errorf("NumCores = %d, want 8", c.NumCores())
+	}
+	if !strings.Contains(c.Name, "mesh4x2") {
+		t.Errorf("Name = %q, want mesh4x2 suffix", c.Name)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithLocalMemBytes(t *testing.T) {
+	c := DefaultConfig().WithLocalMemBytes(256 << 10)
+	if c.Core.LocalMemBytes != 256<<10 {
+		t.Errorf("LocalMemBytes = %d, want %d", c.Core.LocalMemBytes, 256<<10)
+	}
+	if c.SegmentBytes() != (256<<10)/c.Core.LocalMemSegments {
+		t.Errorf("SegmentBytes = %d not rescaled", c.SegmentBytes())
+	}
+	if !strings.Contains(c.Name, "lm256K") {
+		t.Errorf("Name = %q, want lm256K suffix", c.Name)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestValidateRejections(t *testing.T) {
 	cases := []struct {
 		name   string

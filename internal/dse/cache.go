@@ -1,0 +1,98 @@
+package dse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+// Fingerprint returns a stable hardware identity for a configuration: the
+// hex SHA-256 of its canonical JSON encoding with the cosmetic Name field
+// cleared. Two configs agree on the fingerprint iff every architectural
+// parameter agrees, so it is safe as a compile-cache and checkpoint key.
+func Fingerprint(cfg *arch.Config) string {
+	c := *cfg
+	c.Name = ""
+	data, err := json.Marshal(&c)
+	if err != nil {
+		// Config is a plain struct of scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("dse: fingerprinting config: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}
+
+// cacheKey identifies one compiled artifact: the model, the hardware
+// fingerprint and every compiler option that affects code generation.
+func cacheKey(modelName string, cfg *arch.Config, opt compiler.Options) string {
+	return fmt.Sprintf("%s|%s|%v|mc%d|fb%d",
+		modelName, Fingerprint(cfg), opt.Strategy, opt.MaxClosures, opt.FullBufferLimit)
+}
+
+// cacheEntry is one singleflight compilation slot: the first caller
+// compiles, concurrent and later callers share the result.
+type cacheEntry struct {
+	once     sync.Once
+	cfg      arch.Config // cache-owned copy referenced by compiled.Cfg
+	compiled *compiler.Compiled
+	err      error
+}
+
+// CompileCache deduplicates compilation across sweep points that share a
+// (model, config, strategy) triple — e.g. the Fig. 7 sweep reusing every
+// generic-strategy artifact of Fig. 6. It is safe for concurrent use; a
+// point compiled by one worker is awaited, not recompiled, by the others.
+type CompileCache struct {
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	compiles atomic.Int64
+	hits     atomic.Int64
+}
+
+// NewCompileCache returns an empty cache.
+func NewCompileCache() *CompileCache {
+	return &CompileCache{entries: make(map[string]*cacheEntry)}
+}
+
+// Compile returns the compiled artifact for (g, cfg, opt), compiling at
+// most once per distinct key. The returned Compiled references a
+// cache-owned copy of cfg, so callers may let cfg go out of scope.
+func (c *CompileCache) Compile(g *model.Graph, cfg *arch.Config, opt compiler.Options) (*compiler.Compiled, error) {
+	key := cacheKey(g.Name, cfg, opt)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{cfg: *cfg}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	e.once.Do(func() {
+		c.compiles.Add(1)
+		e.compiled, e.err = compiler.Compile(g, &e.cfg, opt)
+	})
+	return e.compiled, e.err
+}
+
+// CompileCalls reports how many real compiler.Compile invocations the
+// cache has performed (misses).
+func (c *CompileCache) CompileCalls() int64 { return c.compiles.Load() }
+
+// Hits reports how many lookups were served from the cache.
+func (c *CompileCache) Hits() int64 { return c.hits.Load() }
+
+// Len reports the number of distinct compiled artifacts held.
+func (c *CompileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,106 @@
+package dse
+
+import (
+	"sync"
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+// TestFingerprintStability: the fingerprint is a pure function of the
+// architectural parameters — identical configs agree, the cosmetic name is
+// ignored, and every swept knob changes it.
+func TestFingerprintStability(t *testing.T) {
+	base := arch.DefaultConfig()
+	same := arch.DefaultConfig()
+	if Fingerprint(&base) != Fingerprint(&same) {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	renamed := base
+	renamed.Name = "other-name"
+	if Fingerprint(&base) != Fingerprint(&renamed) {
+		t.Error("config name must not affect the fingerprint")
+	}
+	variants := map[string]arch.Config{
+		"mg":       base.WithMacrosPerGroup(4),
+		"flit":     base.WithFlitBytes(16),
+		"mesh":     base.WithCoreMesh(4, 4),
+		"localmem": base.WithLocalMemBytes(256 << 10),
+	}
+	seen := map[string]string{Fingerprint(&base): "base"}
+	for knob, cfg := range variants {
+		fp := Fingerprint(&cfg)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s variant collides with %s", knob, prev)
+		}
+		seen[fp] = knob
+	}
+	// Deep knobs must matter too, not just the With-helpers.
+	deep := base
+	deep.Unit.InputBits = 4
+	if Fingerprint(&base) == Fingerprint(&deep) {
+		t.Error("unit-level knob change did not change the fingerprint")
+	}
+}
+
+// TestCacheKeyDiscriminates: the cache key separates models, strategies
+// and compiler options sharing one hardware config.
+func TestCacheKeyDiscriminates(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	keys := map[string]bool{}
+	for _, k := range []string{
+		cacheKey("tinycnn", &cfg, compiler.Options{Strategy: compiler.StrategyGeneric}),
+		cacheKey("tinycnn", &cfg, compiler.Options{Strategy: compiler.StrategyDP}),
+		cacheKey("tinymlp", &cfg, compiler.Options{Strategy: compiler.StrategyGeneric}),
+		cacheKey("tinycnn", &cfg, compiler.Options{Strategy: compiler.StrategyGeneric, FullBufferLimit: 4096}),
+	} {
+		if keys[k] {
+			t.Fatalf("duplicate cache key %q", k)
+		}
+		keys[k] = true
+	}
+}
+
+// TestCompileCacheDedup: repeated and concurrent compiles of one key cost
+// exactly one compiler.Compile call.
+func TestCompileCacheDedup(t *testing.T) {
+	g := model.Zoo("tinycnn")
+	cfg := arch.DefaultConfig()
+	cache := NewCompileCache()
+	opt := compiler.Options{Strategy: compiler.StrategyGeneric}
+
+	first, err := cache.Compile(g, &cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := cache.Compile(g, &cfg, opt)
+			if err != nil {
+				t.Error(err)
+			}
+			if c != first {
+				t.Error("cache returned a different artifact for the same key")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cache.CompileCalls(); got != 1 {
+		t.Errorf("CompileCalls = %d, want 1", got)
+	}
+	if hits := cache.Hits(); hits != 8 {
+		t.Errorf("Hits = %d, want 8", hits)
+	}
+	// A different strategy is a different artifact.
+	if _, err := cache.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyDP}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.CompileCalls(); got != 2 {
+		t.Errorf("CompileCalls after second strategy = %d, want 2", got)
+	}
+}

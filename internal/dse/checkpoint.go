@@ -1,0 +1,119 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SavedResult is the persisted form of one completed point: its metrics,
+// or the error message if it failed.
+type SavedResult struct {
+	Label   string  `json:"label"`
+	Metrics Metrics `json:"metrics"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// checkpointFile is the on-disk JSON layout.
+type checkpointFile struct {
+	Name string                 `json:"name,omitempty"`
+	Done map[string]SavedResult `json:"done"`
+}
+
+// Checkpoint persists completed sweep points so an interrupted sweep can
+// resume without re-simulating. Points are keyed by Point.Key — model,
+// strategy, hardware fingerprint and seed — so a checkpoint survives
+// reordering or extension of the spec, and a changed knob never matches a
+// stale entry. The zero path keeps the checkpoint in memory only.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string
+	data checkpointFile
+}
+
+// NewCheckpoint returns an empty checkpoint persisted at path (path may be
+// empty for a memory-only checkpoint, useful in tests).
+func NewCheckpoint(path string) *Checkpoint {
+	return &Checkpoint{path: path, data: checkpointFile{Done: make(map[string]SavedResult)}}
+}
+
+// LoadCheckpoint opens a checkpoint file, returning an empty checkpoint if
+// the file does not exist yet.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	c := NewCheckpoint(path)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dse: reading checkpoint: %w", err)
+	}
+	if err := json.Unmarshal(data, &c.data); err != nil {
+		return nil, fmt.Errorf("dse: parsing checkpoint %s: %w", path, err)
+	}
+	if c.data.Done == nil {
+		c.data.Done = make(map[string]SavedResult)
+	}
+	return c, nil
+}
+
+// Lookup returns the saved result for a point key, if present.
+func (c *Checkpoint) Lookup(key string) (SavedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.data.Done[key]
+	return s, ok
+}
+
+// Len reports how many completed points the checkpoint holds.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.data.Done)
+}
+
+// Record stores a completed point under key and flushes the file, so
+// progress survives a crash mid-sweep. Flush errors are deliberately
+// swallowed here — a failing checkpoint must not abort a healthy sweep —
+// but are surfaced by the final explicit Save.
+func (c *Checkpoint) Record(key string, r *PointResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := SavedResult{Label: r.Point.Label(), Metrics: r.Metrics}
+	if r.Err != nil {
+		s.Err = r.Err.Error()
+	}
+	c.data.Done[key] = s
+	_ = c.flushLocked()
+}
+
+// Save writes the checkpoint to its path (no-op for memory-only).
+func (c *Checkpoint) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+// flushLocked writes atomically via a temp file + rename.
+func (c *Checkpoint) flushLocked() error {
+	if c.path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(&c.data, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dse: encoding checkpoint: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
+		return fmt.Errorf("dse: checkpoint dir: %w", err)
+	}
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("dse: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("dse: committing checkpoint: %w", err)
+	}
+	return nil
+}

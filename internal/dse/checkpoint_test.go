@@ -1,0 +1,126 @@
+package dse
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"cimflow/internal/arch"
+)
+
+// TestCheckpointResume: an interrupted sweep's checkpoint lets the re-run
+// skip completed points (restoring their metrics) and only simulate the
+// remainder; a changed knob never matches a stale entry.
+func TestCheckpointResume(t *testing.T) {
+	base := arch.DefaultConfig()
+	points, err := (&Spec{
+		Models:     []string{"tinycnn"},
+		Strategies: []string{"generic", "dp"},
+	}).Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+
+	// First pass: run only the first point, as an interrupted sweep would.
+	ckpt, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(context.Background(), points[:1], RunOptions{Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from disk: point 0 must come from the checkpoint, point 1 run.
+	resumed, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Len() != 1 {
+		t.Fatalf("reloaded checkpoint holds %d points, want 1", resumed.Len())
+	}
+	results, err := Run(context.Background(), points, RunOptions{Checkpoint: resumed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Cached {
+		t.Error("completed point was re-simulated on resume")
+	}
+	if results[0].Metrics != first[0].Metrics {
+		t.Errorf("restored metrics %+v != original %+v", results[0].Metrics, first[0].Metrics)
+	}
+	if results[1].Cached {
+		t.Error("fresh point wrongly restored from checkpoint")
+	}
+	if results[1].Err != nil {
+		t.Fatal(results[1].Err)
+	}
+	if resumed.Len() != 2 {
+		t.Errorf("checkpoint holds %d points after full sweep, want 2", resumed.Len())
+	}
+
+	// A knob change yields a different key, so nothing stale matches.
+	changed, err := (&Spec{
+		Models:     []string{"tinycnn"},
+		Strategies: []string{"generic", "dp"},
+		FlitBytes:  []int{16},
+	}).Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range changed {
+		if _, ok := resumed.Lookup(p.Key()); ok {
+			t.Errorf("stale checkpoint entry matched changed point %s", p.Label())
+		}
+	}
+}
+
+// TestCheckpointMissingFile: loading a nonexistent path yields an empty,
+// usable checkpoint.
+func TestCheckpointMissingFile(t *testing.T) {
+	c, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope", "ckpt.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("fresh checkpoint holds %d entries", c.Len())
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRecordsErrors: failed points persist their error message
+// and are restored as failures, not silently retried as successes.
+func TestCheckpointRecordsErrors(t *testing.T) {
+	base := arch.DefaultConfig()
+	points, err := (&Spec{Models: []string{"tinycnn"}, Strategies: []string{"generic"}}).Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points[0].Model = "vanished" // force a runtime failure
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	ckpt, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), points, RunOptions{Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(context.Background(), points, RunOptions{Checkpoint: reloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Cached || results[0].Err == nil {
+		t.Errorf("failed point not restored as cached failure: cached=%v err=%v",
+			results[0].Cached, results[0].Err)
+	}
+}

@@ -1,13 +1,18 @@
-package core
+package dse
 
 import (
+	"context"
 	"fmt"
 
 	"cimflow/internal/arch"
 	"cimflow/internal/compiler"
-	"cimflow/internal/model"
 	"cimflow/internal/report"
 )
+
+// The paper's evaluation figures (Sec. IV) are sweeps, so they run on the
+// DSE engine: RunFig5/6/7 build the matching Spec, execute it on the
+// worker pool (sharing compiled artifacts through the cache) and shape the
+// results into the exact rows the original serial loops produced.
 
 // Fig5Row is one bar of Fig. 5: a (model, strategy) pair with speed and
 // energy normalized to the generic-mapping baseline.
@@ -28,36 +33,57 @@ var Fig5Strategies = []compiler.Strategy{
 	compiler.StrategyGeneric, compiler.StrategyDuplication, compiler.StrategyDP,
 }
 
+// Fig6MGSizes and Fig6Flits are the sweep axes of Fig. 6 / Fig. 7.
+var (
+	Fig6MGSizes = []int{4, 8, 12, 16}
+	Fig6Flits   = []int{8, 16}
+	Fig6Models  = []string{"resnet18", "efficientnetb0"}
+)
+
+// strategyNames renders a strategy axis for a Spec.
+func strategyNames(strats []compiler.Strategy) []string {
+	names := make([]string, len(strats))
+	for i, s := range strats {
+		names[i] = s.String()
+	}
+	return names
+}
+
 // RunFig5 reproduces the compilation-optimization comparison of Fig. 5 on
-// the given architecture.
-func RunFig5(cfg arch.Config, models []string) ([]Fig5Row, error) {
+// the given architecture. Rows are identical to the historical serial
+// implementation at any parallelism.
+func RunFig5(cfg arch.Config, models []string, opt RunOptions) ([]Fig5Row, error) {
 	if len(models) == 0 {
 		models = Fig5Models
 	}
+	spec := &Spec{Name: "fig5", Models: models, Strategies: strategyNames(Fig5Strategies)}
+	points, err := spec.Expand(cfg)
+	if err != nil {
+		return nil, err
+	}
+	results, err := Run(context.Background(), points, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Points are ordered model-outer / strategy-inner with generic first,
+	// so the per-model baseline is always the first row of its group.
 	var rows []Fig5Row
-	for _, name := range models {
-		g := model.Zoo(name)
-		if g == nil {
-			return nil, fmt.Errorf("core: unknown model %q", name)
+	var base Metrics
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("fig5 %s/%v: %w", r.Point.Model, r.Point.Strategy, r.Err)
 		}
-		var base *Result
-		for _, s := range Fig5Strategies {
-			res, err := Run(g, cfg, Options{Strategy: s, Seed: 1})
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s/%v: %w", name, s, err)
-			}
-			if s == compiler.StrategyGeneric {
-				base = res
-			}
-			rows = append(rows, Fig5Row{
-				Model:      name,
-				Strategy:   s,
-				Cycles:     res.Stats.Cycles,
-				EnergyMJ:   res.EnergyMJ,
-				NormSpeed:  float64(base.Stats.Cycles) / float64(res.Stats.Cycles),
-				NormEnergy: res.EnergyMJ / base.EnergyMJ,
-			})
+		if r.Point.Strategy == compiler.StrategyGeneric {
+			base = r.Metrics
 		}
+		rows = append(rows, Fig5Row{
+			Model:      r.Point.Model,
+			Strategy:   r.Point.Strategy,
+			Cycles:     r.Metrics.Cycles,
+			EnergyMJ:   r.Metrics.EnergyMJ,
+			NormSpeed:  float64(base.Cycles) / float64(r.Metrics.Cycles),
+			NormEnergy: r.Metrics.EnergyMJ / base.EnergyMJ,
+		})
 	}
 	return rows, nil
 }
@@ -87,18 +113,11 @@ type Fig6Row struct {
 	strategy   compiler.Strategy
 }
 
-// Fig6MGSizes and Fig6Flits are the sweep axes of Fig. 6 / Fig. 7.
-var (
-	Fig6MGSizes = []int{4, 8, 12, 16}
-	Fig6Flits   = []int{8, 16}
-	Fig6Models  = []string{"resnet18", "efficientnetb0"}
-)
-
 // RunFig6 reproduces the architectural exploration of Fig. 6: the energy
 // breakdown (local memory / compute / NoC) and throughput across MG sizes
 // and NoC flit widths, compiled with the generic mapping strategy.
-func RunFig6(base arch.Config, models []string) ([]Fig6Row, error) {
-	return runSweep(base, models, []compiler.Strategy{compiler.StrategyGeneric})
+func RunFig6(base arch.Config, models []string, opt RunOptions) ([]Fig6Row, error) {
+	return runSweep(base, models, []compiler.Strategy{compiler.StrategyGeneric}, opt)
 }
 
 // Fig7Row is one point of the Fig. 7 design-space scatter.
@@ -113,11 +132,12 @@ type Fig7Row struct {
 
 // RunFig7 reproduces the software/hardware co-design space of Fig. 7:
 // the same hardware sweep under both the generic and the DP-optimized
-// compilation strategies.
-func RunFig7(base arch.Config, models []string) ([]Fig7Row, error) {
+// compilation strategies. With a cache shared across figures, the generic
+// half reuses every artifact Fig. 6 already compiled.
+func RunFig7(base arch.Config, models []string, opt RunOptions) ([]Fig7Row, error) {
 	rows6, err := runSweep(base, models, []compiler.Strategy{
 		compiler.StrategyGeneric, compiler.StrategyDP,
-	})
+	}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -135,39 +155,44 @@ func RunFig7(base arch.Config, models []string) ([]Fig7Row, error) {
 	return rows, nil
 }
 
-func runSweep(base arch.Config, models []string, strategies []compiler.Strategy) ([]Fig6Row, error) {
+func runSweep(base arch.Config, models []string, strategies []compiler.Strategy, opt RunOptions) ([]Fig6Row, error) {
 	if len(models) == 0 {
 		models = Fig6Models
 	}
+	spec := &Spec{
+		Name:       "fig6",
+		Models:     models,
+		Strategies: strategyNames(strategies),
+		MGSizes:    Fig6MGSizes,
+		FlitBytes:  Fig6Flits,
+	}
+	points, err := spec.Expand(base)
+	if err != nil {
+		return nil, err
+	}
+	results, err := Run(context.Background(), points, opt)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig6Row
-	for _, name := range models {
-		g := model.Zoo(name)
-		if g == nil {
-			return nil, fmt.Errorf("core: unknown model %q", name)
+	for _, r := range results {
+		p := r.Point
+		if r.Err != nil {
+			return nil, fmt.Errorf("sweep %s mg=%d flit=%d %v: %w",
+				p.Model, p.MGSize, p.FlitBytes, p.Strategy, r.Err)
 		}
-		for _, strat := range strategies {
-			for _, mg := range Fig6MGSizes {
-				for _, flit := range Fig6Flits {
-					cfg := base.WithMacrosPerGroup(mg).WithFlitBytes(flit)
-					res, err := Run(g, cfg, Options{Strategy: strat, Seed: 1})
-					if err != nil {
-						return nil, fmt.Errorf("sweep %s mg=%d flit=%d %v: %w", name, mg, flit, strat, err)
-					}
-					rows = append(rows, Fig6Row{
-						Model:      name,
-						MGSize:     mg,
-						FlitBytes:  flit,
-						TOPS:       res.TOPS,
-						LocalMemMJ: res.Stats.Energy.LocalMemPJ / 1e9,
-						ComputeMJ:  res.Stats.Energy.ComputePJ() / 1e9,
-						NoCMJ:      res.Stats.Energy.NoCPJ / 1e9,
-						TotalMJ:    res.EnergyMJ,
-						Cycles:     res.Stats.Cycles,
-						strategy:   strat,
-					})
-				}
-			}
-		}
+		rows = append(rows, Fig6Row{
+			Model:      p.Model,
+			MGSize:     p.MGSize,
+			FlitBytes:  p.FlitBytes,
+			TOPS:       r.Metrics.TOPS,
+			LocalMemMJ: r.Metrics.LocalMemMJ,
+			ComputeMJ:  r.Metrics.ComputeMJ,
+			NoCMJ:      r.Metrics.NoCMJ,
+			TotalMJ:    r.Metrics.EnergyMJ,
+			Cycles:     r.Metrics.Cycles,
+			strategy:   p.Strategy,
+		})
 	}
 	return rows, nil
 }

@@ -1,0 +1,121 @@
+package dse
+
+import (
+	"strconv"
+
+	"cimflow/internal/report"
+)
+
+// dominates reports whether a is at least as good as b on both sweep
+// objectives — throughput (higher better) and energy (lower better) — and
+// strictly better on at least one.
+func dominates(a, b Metrics) bool {
+	if a.TOPS < b.TOPS || a.EnergyMJ > b.EnergyMJ {
+		return false
+	}
+	return a.TOPS > b.TOPS || a.EnergyMJ < b.EnergyMJ
+}
+
+// ParetoIndices returns the indices (ascending) of the points on the
+// energy/throughput Pareto frontier: every successfully simulated point
+// not dominated by another. Errored points are never on the frontier and
+// never dominate.
+func ParetoIndices(results []PointResult) []int {
+	var front []int
+	for i, p := range results {
+		if p.Err != nil {
+			continue
+		}
+		optimal := true
+		for j, q := range results {
+			if i == j || q.Err != nil {
+				continue
+			}
+			if dominates(q.Metrics, p.Metrics) {
+				optimal = false
+				break
+			}
+		}
+		if optimal {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// ParetoFront returns the Pareto-optimal subset of results, in point order.
+func ParetoFront(results []PointResult) []PointResult {
+	idx := ParetoIndices(results)
+	front := make([]PointResult, 0, len(idx))
+	for _, i := range idx {
+		front = append(front, results[i])
+	}
+	return front
+}
+
+// Best returns the successful result maximizing score (earliest point wins
+// ties), and false if every point failed.
+func Best(results []PointResult, score func(Metrics) float64) (PointResult, bool) {
+	var best PointResult
+	bestScore, found := 0.0, false
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if s := score(r.Metrics); !found || s > bestScore {
+			best, bestScore, found = r, s, true
+		}
+	}
+	return best, found
+}
+
+// Common best-point objectives.
+var (
+	// ScoreTOPS maximizes throughput.
+	ScoreTOPS = func(m Metrics) float64 { return m.TOPS }
+	// ScoreEnergy minimizes total energy.
+	ScoreEnergy = func(m Metrics) float64 { return -m.EnergyMJ }
+	// ScoreEDP minimizes the energy-delay product, the usual single-number
+	// compromise between the two sweep objectives.
+	ScoreEDP = func(m Metrics) float64 { return -m.EnergyMJ * m.Seconds }
+)
+
+// ResultTable renders sweep results as a table: one row per point with its
+// knobs, headline metrics, Pareto marker and error, suitable for both text
+// and CSV output.
+func ResultTable(title string, results []PointResult) *report.Table {
+	onFront := make(map[int]bool)
+	for _, i := range ParetoIndices(results) {
+		onFront[i] = true
+	}
+	t := report.New(title,
+		"model", "strategy", "mg_size", "flit_B", "mesh", "localmem_KB",
+		"cycles", "tops", "energy_mJ", "pareto", "error")
+	for i, r := range results {
+		p := r.Point
+		mark, errMsg := "", ""
+		if onFront[i] {
+			mark = "*"
+		}
+		if r.Err != nil {
+			errMsg = r.Err.Error()
+		}
+		mesh := ""
+		if p.Mesh != ([2]int{}) {
+			mesh = intPair(p.Mesh)
+		}
+		t.Add(p.Model, p.Strategy.String(), orDash(p.MGSize), orDash(p.FlitBytes),
+			mesh, orDash(p.LocalMemKB), r.Metrics.Cycles, r.Metrics.TOPS,
+			r.Metrics.EnergyMJ, mark, errMsg)
+	}
+	return t
+}
+
+func orDash(v int) string {
+	if v == 0 {
+		return "-"
+	}
+	return strconv.Itoa(v)
+}
+
+func intPair(m [2]int) string { return strconv.Itoa(m[0]) + "x" + strconv.Itoa(m[1]) }

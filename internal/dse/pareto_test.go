@@ -1,0 +1,101 @@
+package dse
+
+import (
+	"errors"
+	"testing"
+)
+
+// mkResults builds synthetic sweep results from (TOPS, energy) pairs.
+func mkResults(points [][2]float64) []PointResult {
+	rs := make([]PointResult, len(points))
+	for i, p := range points {
+		rs[i] = PointResult{
+			Point:   Point{Index: i},
+			Metrics: Metrics{TOPS: p[0], EnergyMJ: p[1], Seconds: 1 / p[0]},
+		}
+	}
+	return rs
+}
+
+// TestParetoFront checks frontier extraction on a hand-built point set
+// with dominated points, incomparable points and an exact duplicate.
+func TestParetoFront(t *testing.T) {
+	rs := mkResults([][2]float64{
+		{1.0, 10.0}, // 0: dominated by 2
+		{2.0, 8.0},  // 1: dominated by 2
+		{3.0, 5.0},  // 2: optimal
+		{4.0, 6.0},  // 3: optimal (faster than 2, costlier)
+		{2.5, 4.0},  // 4: optimal (slower than 2, cheaper)
+		{3.0, 5.0},  // 5: duplicate of 2 — neither dominates, both kept
+		{0.5, 20.0}, // 6: dominated by everything
+	})
+	want := []int{2, 3, 4, 5}
+	got := ParetoIndices(rs)
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", got, want)
+		}
+	}
+	front := ParetoFront(rs)
+	if len(front) != 4 || front[0].Point.Index != 2 {
+		t.Errorf("ParetoFront returned %d rows, first index %d", len(front), front[0].Point.Index)
+	}
+}
+
+// TestParetoSkipsErrors: failed points neither join nor prune the frontier.
+func TestParetoSkipsErrors(t *testing.T) {
+	rs := mkResults([][2]float64{
+		{9.0, 1.0}, // 0: would dominate everything, but it failed
+		{1.0, 2.0}, // 1: optimal among successes
+	})
+	rs[0].Err = errors.New("simulation exploded")
+	got := ParetoIndices(rs)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("frontier with errored dominator = %v, want [1]", got)
+	}
+}
+
+// TestBest covers the ready-made objectives and the all-failed case.
+func TestBest(t *testing.T) {
+	rs := mkResults([][2]float64{{1, 10}, {4, 8}, {2, 2}})
+	if b, ok := Best(rs, ScoreTOPS); !ok || b.Point.Index != 1 {
+		t.Errorf("ScoreTOPS best = %v, want index 1", b.Point.Index)
+	}
+	if b, ok := Best(rs, ScoreEnergy); !ok || b.Point.Index != 2 {
+		t.Errorf("ScoreEnergy best = %v, want index 2", b.Point.Index)
+	}
+	// EDP: energy*seconds = 10*1, 8*0.25, 2*0.5 → index 2 wins.
+	if b, ok := Best(rs, ScoreEDP); !ok || b.Point.Index != 2 {
+		t.Errorf("ScoreEDP best = %v, want index 2", b.Point.Index)
+	}
+	for i := range rs {
+		rs[i].Err = errors.New("failed")
+	}
+	if _, ok := Best(rs, ScoreTOPS); ok {
+		t.Error("Best found a point among all-failed results")
+	}
+}
+
+// TestResultTable renders knobs, Pareto markers and errors.
+func TestResultTable(t *testing.T) {
+	rs := mkResults([][2]float64{{1, 10}, {2, 5}})
+	rs[0].Err = errors.New("boom")
+	rs[1].Point.MGSize = 8
+	rs[1].Point.Mesh = [2]int{4, 4}
+	tbl := ResultTable("test sweep", rs)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table rows = %d, want 2", len(tbl.Rows))
+	}
+	if tbl.Rows[0][10] != "boom" {
+		t.Errorf("error column = %q, want boom", tbl.Rows[0][10])
+	}
+	if tbl.Rows[1][9] != "*" {
+		t.Errorf("pareto column = %q, want *", tbl.Rows[1][9])
+	}
+	if tbl.Rows[1][4] != "4x4" {
+		t.Errorf("mesh column = %q, want 4x4", tbl.Rows[1][4])
+	}
+}

@@ -1,0 +1,201 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cimflow/internal/compiler"
+	"cimflow/internal/core"
+	"cimflow/internal/model"
+)
+
+// Metrics is the serializable summary of one simulated point, the
+// currency of Pareto analysis and checkpoints.
+type Metrics struct {
+	Cycles     int64   `json:"cycles"`
+	Seconds    float64 `json:"seconds"`
+	TOPS       float64 `json:"tops"`
+	EnergyMJ   float64 `json:"energy_mj"`
+	LocalMemMJ float64 `json:"localmem_mj"`
+	ComputeMJ  float64 `json:"compute_mj"`
+	NoCMJ      float64 `json:"noc_mj"`
+	Throughput float64 `json:"throughput"`
+}
+
+// metricsOf extracts the summary metrics from a completed run.
+func metricsOf(res *core.Result) Metrics {
+	return Metrics{
+		Cycles:     res.Stats.Cycles,
+		Seconds:    res.Seconds,
+		TOPS:       res.TOPS,
+		EnergyMJ:   res.EnergyMJ,
+		LocalMemMJ: res.Stats.Energy.LocalMemPJ / 1e9,
+		ComputeMJ:  res.Stats.Energy.ComputePJ() / 1e9,
+		NoCMJ:      res.Stats.Energy.NoCPJ / 1e9,
+		Throughput: res.Throughput,
+	}
+}
+
+// PointResult is the outcome of one sweep point. Exactly one of Err or a
+// populated Metrics is meaningful; Result carries the full simulation
+// output (nil when the point failed or was restored from a checkpoint).
+type PointResult struct {
+	Point   Point
+	Metrics Metrics
+	Result  *core.Result
+	Err     error
+	// Cached marks a point skipped because the checkpoint already held it.
+	Cached bool
+}
+
+// RunOptions configures a sweep execution.
+type RunOptions struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache deduplicates compilation across points; nil uses a private
+	// cache scoped to this Run call.
+	Cache *CompileCache
+	// Checkpoint, when non-nil, is consulted before running each point and
+	// updated (and flushed) after each completion, enabling resume of a
+	// partial sweep.
+	Checkpoint *Checkpoint
+	// OnResult, when non-nil, is invoked once per point as it completes.
+	// Calls are serialized but arrive in completion order, not index order.
+	OnResult func(PointResult)
+	// CycleLimit forwards the simulator's runaway guard (0 = default).
+	CycleLimit int64
+}
+
+// Run executes every point on a worker pool and returns one PointResult
+// per point, in point-index order regardless of parallelism. Point-level
+// failures are captured in PointResult.Err rather than aborting the sweep;
+// the returned error is non-nil only when ctx is cancelled (points not yet
+// started then carry the context error).
+func Run(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCompileCache()
+	}
+	// Results are indexed by slice position, not Point.Index, so Run also
+	// works on subsets or hand-built point lists.
+	results := make([]PointResult, len(points))
+	emit := func(i int, r PointResult) {
+		results[i] = r
+		// Cancellation is not a point outcome: checkpointing it would make
+		// a resumed sweep restore "context canceled" instead of re-running.
+		cancelled := errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)
+		if opt.Checkpoint != nil && !r.Cached && !cancelled {
+			opt.Checkpoint.Record(checkpointKey(&r.Point, opt), &r)
+		}
+		if opt.OnResult != nil {
+			opt.OnResult(r)
+		}
+	}
+
+	if workers <= 1 {
+		for i, p := range points {
+			if err := ctx.Err(); err != nil {
+				results[i] = PointResult{Point: p, Err: err}
+				continue
+			}
+			emit(i, runPoint(p, cache, opt))
+		}
+		return results, ctx.Err()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var emitMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				var r PointResult
+				if err := ctx.Err(); err != nil {
+					r = PointResult{Point: points[i], Err: err}
+				} else {
+					r = runPoint(points[i], cache, opt)
+				}
+				emitMu.Lock()
+				emit(i, r)
+				emitMu.Unlock()
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// checkpointKey identifies a point outcome for resume: the point identity
+// plus every run option that can change the outcome (a raised CycleLimit
+// must re-run a point that previously hit the runaway guard, not restore
+// its stale failure).
+func checkpointKey(p *Point, opt RunOptions) string {
+	key := p.Key()
+	if opt.CycleLimit != 0 {
+		key += fmt.Sprintf("|cl%d", opt.CycleLimit)
+	}
+	return key
+}
+
+// runPoint compiles (through the cache) and simulates one point, or
+// restores it from the checkpoint.
+func runPoint(p Point, cache *CompileCache, opt RunOptions) PointResult {
+	if opt.Checkpoint != nil {
+		if saved, ok := opt.Checkpoint.Lookup(checkpointKey(&p, opt)); ok {
+			r := PointResult{Point: p, Metrics: saved.Metrics, Cached: true}
+			if saved.Err != "" {
+				r.Err = errors.New(saved.Err)
+			}
+			return r
+		}
+	}
+	g := model.Zoo(p.Model)
+	if g == nil {
+		return PointResult{Point: p, Err: fmt.Errorf("dse: unknown model %q", p.Model)}
+	}
+	compiled, err := cache.Compile(g, &p.Config, compiler.Options{Strategy: p.Strategy})
+	if err != nil {
+		return PointResult{Point: p, Err: fmt.Errorf("dse: compile %s: %w", p.Label(), err)}
+	}
+	ws := model.NewSeededWeights(g, p.Seed)
+	input := model.SeededInput(g.Nodes[0].OutShape, p.Seed+1)
+	res, err := core.Simulate(compiled, ws, input, core.Options{
+		Strategy:   p.Strategy,
+		Seed:       p.Seed,
+		CycleLimit: opt.CycleLimit,
+	})
+	if err != nil {
+		return PointResult{Point: p, Err: fmt.Errorf("dse: simulate %s: %w", p.Label(), err)}
+	}
+	return PointResult{Point: p, Metrics: metricsOf(res), Result: res}
+}
+
+// Sweep expands a spec against its base configuration and runs it: the
+// one-call entry point used by the cimflow-dse command and the facade.
+func Sweep(ctx context.Context, spec *Spec, opt RunOptions) ([]PointResult, error) {
+	base, err := spec.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	points, err := spec.Expand(base)
+	if err != nil {
+		return nil, err
+	}
+	return Run(ctx, points, opt)
+}

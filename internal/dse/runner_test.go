@@ -1,0 +1,238 @@
+package dse
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cimflow/internal/arch"
+)
+
+// tinySpec is a small but non-trivial sweep used across runner tests:
+// 2 models x 2 strategies x 2 MG sizes = 8 points on tiny networks.
+func tinySpec() *Spec {
+	return &Spec{
+		Name:       "tiny",
+		Models:     []string{"tinycnn", "tinymlp"},
+		Strategies: []string{"generic", "dp"},
+		MGSizes:    []int{4, 8},
+	}
+}
+
+// TestParallelMatchesSerial: the sweep yields identical rows in identical
+// order at any parallelism — the engine's core determinism contract.
+func TestParallelMatchesSerial(t *testing.T) {
+	spec := tinySpec()
+	base := arch.DefaultConfig()
+	points, err := spec.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(context.Background(), points, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 9} {
+		parallel, err := Run(context.Background(), points, RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("j=%d: %d results, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			s, p := serial[i], parallel[i]
+			if s.Err != nil || p.Err != nil {
+				t.Fatalf("j=%d point %d errored: %v / %v", workers, i, s.Err, p.Err)
+			}
+			if s.Point.Key() != p.Point.Key() || s.Metrics != p.Metrics {
+				t.Errorf("j=%d point %d diverged: %+v != %+v", workers, i, p.Metrics, s.Metrics)
+			}
+		}
+	}
+}
+
+// TestWarmCacheSkipsCompiles: with a shared cache, a sweep re-run performs
+// strictly fewer compiles than points simulated — and in fact none at all.
+func TestWarmCacheSkipsCompiles(t *testing.T) {
+	spec := tinySpec()
+	points, err := spec.Expand(arch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCompileCache()
+	if _, err := Run(context.Background(), points, RunOptions{Workers: 4, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	cold := cache.CompileCalls()
+	if cold != int64(len(points)) {
+		t.Errorf("cold sweep compiled %d artifacts for %d distinct points", cold, len(points))
+	}
+	if _, err := Run(context.Background(), points, RunOptions{Workers: 4, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	warm := cache.CompileCalls() - cold
+	if warm != 0 {
+		t.Errorf("warm sweep recompiled %d artifacts, want 0", warm)
+	}
+	if warm >= int64(len(points)) {
+		t.Errorf("warm sweep compiles (%d) not fewer than points (%d)", warm, len(points))
+	}
+}
+
+// TestSharedArtifactsAcrossSpecs: the Fig. 6 → Fig. 7 reuse story — a
+// second spec overlapping the first (same model/config/strategy triples)
+// only compiles its genuinely new points.
+func TestSharedArtifactsAcrossSpecs(t *testing.T) {
+	base := arch.DefaultConfig()
+	fig6 := &Spec{Models: []string{"tinycnn"}, Strategies: []string{"generic"}, MGSizes: []int{4, 8}}
+	fig7 := &Spec{Models: []string{"tinycnn"}, Strategies: []string{"generic", "dp"}, MGSizes: []int{4, 8}}
+	cache := NewCompileCache()
+	p6, err := fig6.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), p6, RunOptions{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	after6 := cache.CompileCalls()
+	p7, err := fig7.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), p7, RunOptions{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	added := cache.CompileCalls() - after6
+	if added != 2 {
+		t.Errorf("fig7 compiled %d new artifacts, want 2 (dp half only)", added)
+	}
+}
+
+// TestPerPointErrorCapture: one failing point must not abort the sweep.
+func TestPerPointErrorCapture(t *testing.T) {
+	base := arch.DefaultConfig()
+	points, err := (&Spec{Models: []string{"tinycnn"}, Strategies: []string{"generic"}}).Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage a copy: a 1x1 mesh with tinycnn still compiles, but an
+	// unknown model at run time is the simplest injectable failure.
+	bad := points[0]
+	bad.Index = 1
+	bad.Model = "vanished"
+	points = append(points, bad)
+	results, err := Run(context.Background(), points, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("healthy point failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "vanished") {
+		t.Errorf("bad point error = %v, want unknown model", results[1].Err)
+	}
+}
+
+// TestRunCancellation: a cancelled context stops the sweep, marks the
+// unstarted points with the context error and reports it.
+func TestRunCancellation(t *testing.T) {
+	points, err := tinySpec().Expand(arch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ckpt := NewCheckpoint("")
+	results, err := Run(ctx, points, RunOptions{Workers: 2, Checkpoint: ckpt})
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("point %d ran despite cancelled context", i)
+		}
+	}
+	// Cancellation must not be persisted as a point failure: a resumed
+	// sweep has to re-run these points, not restore "context canceled".
+	if n := ckpt.Len(); n != 0 {
+		t.Errorf("checkpoint recorded %d cancelled points, want 0", n)
+	}
+}
+
+// TestRunSubset: Run indexes results by slice position, so it works on a
+// subset of expanded points (e.g. re-running a failed tail) whose
+// Point.Index values exceed the slice bounds.
+func TestRunSubset(t *testing.T) {
+	points, err := tinySpec().Expand(arch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := points[len(points)-3:]
+	results, err := Run(context.Background(), tail, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("subset run returned %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("subset point %d failed: %v", i, r.Err)
+		}
+		if r.Point.Key() != tail[i].Key() {
+			t.Errorf("result %d is point %s, want %s", i, r.Point.Label(), tail[i].Label())
+		}
+	}
+}
+
+// TestCheckpointKeyIncludesCycleLimit: a point that failed under one
+// CycleLimit must be re-run, not restored, when the limit changes.
+func TestCheckpointKeyIncludesCycleLimit(t *testing.T) {
+	points, err := (&Spec{Models: []string{"tinycnn"}, Strategies: []string{"generic"}}).Expand(arch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := NewCheckpoint("")
+	// A 1-cycle limit trips the runaway guard and records a failure.
+	low, err := Run(context.Background(), points, RunOptions{Checkpoint: ckpt, CycleLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low[0].Err == nil {
+		t.Fatal("1-cycle limit did not fail the point")
+	}
+	// With the default limit the stale failure must not match.
+	again, err := Run(context.Background(), points, RunOptions{Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Cached || again[0].Err != nil {
+		t.Errorf("raised cycle limit restored stale failure: cached=%v err=%v",
+			again[0].Cached, again[0].Err)
+	}
+}
+
+// TestOnResultCallback: every point is reported exactly once.
+func TestOnResultCallback(t *testing.T) {
+	points, err := tinySpec().Expand(arch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	_, err = Run(context.Background(), points, RunOptions{
+		Workers:  3,
+		OnResult: func(r PointResult) { seen[r.Point.Index]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(points) {
+		t.Fatalf("callback saw %d points, want %d", len(seen), len(points))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("point %d reported %d times", i, n)
+		}
+	}
+}
