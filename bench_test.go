@@ -7,6 +7,7 @@
 package cimflow_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -171,7 +172,7 @@ func BenchmarkSimulator(b *testing.B) {
 		if err := ch.LoadProgram(sim.Program{Core: 0, Code: prog}); err != nil {
 			b.Fatal(err)
 		}
-		stats, err := ch.Run()
+		stats, err := ch.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -260,7 +261,7 @@ func BenchmarkAblationStreaming(b *testing.B) {
 			var res *core.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				res, err = core.Run(g, cfg, core.Options{
+				res, err = core.Run(context.Background(), g, cfg, core.Options{
 					Strategy:        compiler.StrategyGeneric,
 					Seed:            1,
 					FullBufferLimit: tc.limit,
@@ -297,7 +298,7 @@ func BenchmarkEndToEndValidation(b *testing.B) {
 	cfg := arch.DefaultConfig()
 	g := model.TinyResNet()
 	for i := 0; i < b.N; i++ {
-		mism, err := core.Validate(g, cfg, core.Options{Strategy: compiler.StrategyDP, Seed: 1})
+		mism, err := core.Validate(context.Background(), g, cfg, core.Options{Strategy: compiler.StrategyDP, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,14 +4,16 @@
 // reproducing Qi et al., "CIMFlow: An Integrated Framework for Systematic
 // Design and Evaluation of Digital CIM Architectures" (DAC 2025).
 //
-// The typical workflow mirrors the paper's Fig. 2:
+// The typical workflow mirrors the paper's Fig. 2, split — like the paper's
+// toolchain — into a compile phase and a cycle-accurate execution phase:
 //
-//	g := cimflow.Model("resnet18")            // DNN workload description
-//	cfg := cimflow.DefaultConfig()            // Table I architecture
-//	res, err := cimflow.Run(g, cfg, cimflow.Options{
-//	    Strategy: cimflow.StrategyDP,         // CG-level optimization
-//	})
-//	fmt.Println(res.Stats)                    // cycles, energy, utilization
+//	g, err := cimflow.LookupModel("resnet18")  // DNN workload description
+//	cfg := cimflow.DefaultConfig()             // Table I architecture
+//	engine, err := cimflow.NewEngine(cfg)      // reusable entry point
+//	sess, err := engine.Session(g,             // compiles exactly once
+//	    cimflow.WithStrategy(cimflow.StrategyDP))
+//	res, err := sess.Infer(ctx, input)         // infer-many: pooled chips,
+//	fmt.Println(res.Stats)                     // cancellable mid-simulation
 //
 // Architecture configurations are fully parameterized (chip, core and unit
 // levels per the hierarchical hardware abstraction), models can be built
@@ -53,7 +55,10 @@ type (
 	Compiled = compiler.Compiled
 	// Plan is the CG-level partitioning and mapping decision.
 	Plan = compiler.Plan
-	// Options configures a compile-and-simulate run.
+	// Options is the legacy flat run configuration.
+	//
+	// Deprecated: use the functional options (WithStrategy, WithSeed,
+	// WithCycleLimit, WithFullBufferLimit) with NewEngine / Engine.Session.
 	Options = core.Options
 	// Result is a completed run: statistics, output tensor, metrics.
 	Result = core.Result
@@ -79,6 +84,9 @@ func LoadConfig(path string) (Config, error) { return arch.Load(path) }
 // Model returns a benchmark network by name: resnet18, vgg19, mobilenetv2,
 // efficientnetb0, or one of the tiny validation networks. It returns nil
 // for unknown names; ModelNames lists the options.
+//
+// Deprecated: the nil return forces a check at every caller; use
+// LookupModel, which returns a descriptive error naming the known models.
 func Model(name string) *Graph { return model.Zoo(name) }
 
 // ModelNames lists the built-in models.
@@ -95,11 +103,40 @@ func Compile(g *Graph, cfg Config, strategy Strategy) (*Compiled, error) {
 
 // Run compiles and simulates a model with deterministic synthetic weights,
 // returning cycle, energy and utilization statistics plus the output tensor.
-func Run(g *Graph, cfg Config, opt Options) (*Result, error) { return core.Run(g, cfg, opt) }
+//
+// Deprecated: Run recompiles the model and rebuilds the chip on every
+// call and cannot be cancelled. Create an Engine once and use
+// Session.Infer, which compiles once, pools chips across inferences,
+// accepts real input tensors and honors context cancellation. Run is now a
+// thin wrapper over that path and produces byte-identical results.
+func Run(g *Graph, cfg Config, opt Options) (*Result, error) {
+	e, err := NewEngine(cfg, optionsFrom(opt)...)
+	if err != nil {
+		return nil, err
+	}
+	s, err := e.Session(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.Infer(context.Background(), s.SeededInput(opt.Seed+1))
+}
 
 // Validate runs a model end to end and compares the simulated output
 // against the golden reference executor, returning the mismatch count.
-func Validate(g *Graph, cfg Config, opt Options) (int, error) { return core.Validate(g, cfg, opt) }
+//
+// Deprecated: use Session.Validate, which reuses the session's compiled
+// artifact and weights and honors context cancellation.
+func Validate(g *Graph, cfg Config, opt Options) (int, error) {
+	e, err := NewEngine(cfg, optionsFrom(opt)...)
+	if err != nil {
+		return -1, err
+	}
+	s, err := e.Session(g)
+	if err != nil {
+		return -1, err
+	}
+	return s.Validate(context.Background(), s.SeededInput(opt.Seed+1))
+}
 
 // --- Design-space exploration (internal/dse) ---
 
@@ -177,33 +214,34 @@ var (
 
 // RunFig5 regenerates Fig. 5 (compilation strategies comparison).
 func RunFig5(cfg Config, models []string) ([]dse.Fig5Row, error) {
-	return dse.RunFig5(cfg, models, dse.RunOptions{})
+	return dse.RunFig5(context.Background(), cfg, models, dse.RunOptions{})
 }
 
 // RunFig6 regenerates Fig. 6 (MG size x flit width exploration).
 func RunFig6(cfg Config, models []string) ([]dse.Fig6Row, error) {
-	return dse.RunFig6(cfg, models, dse.RunOptions{})
+	return dse.RunFig6(context.Background(), cfg, models, dse.RunOptions{})
 }
 
 // RunFig7 regenerates Fig. 7 (SW/HW co-design space).
 func RunFig7(cfg Config, models []string) ([]dse.Fig7Row, error) {
-	return dse.RunFig7(cfg, models, dse.RunOptions{})
+	return dse.RunFig7(context.Background(), cfg, models, dse.RunOptions{})
 }
 
-// RunFig5With / RunFig6With / RunFig7With expose the engine's parallelism,
-// cache sharing and checkpointing to figure regeneration (cimflow-bench -j).
-func RunFig5With(cfg Config, models []string, opt SweepOptions) ([]dse.Fig5Row, error) {
-	return dse.RunFig5(cfg, models, opt)
+// RunFig5With / RunFig6With / RunFig7With expose the sweep engine's
+// parallelism, cache sharing, checkpointing and cancellation to figure
+// regeneration (cimflow-bench -j); cancelling ctx aborts mid-simulation.
+func RunFig5With(ctx context.Context, cfg Config, models []string, opt SweepOptions) ([]dse.Fig5Row, error) {
+	return dse.RunFig5(ctx, cfg, models, opt)
 }
 
 // RunFig6With regenerates Fig. 6 with explicit sweep options.
-func RunFig6With(cfg Config, models []string, opt SweepOptions) ([]dse.Fig6Row, error) {
-	return dse.RunFig6(cfg, models, opt)
+func RunFig6With(ctx context.Context, cfg Config, models []string, opt SweepOptions) ([]dse.Fig6Row, error) {
+	return dse.RunFig6(ctx, cfg, models, opt)
 }
 
 // RunFig7With regenerates Fig. 7 with explicit sweep options.
-func RunFig7With(cfg Config, models []string, opt SweepOptions) ([]dse.Fig7Row, error) {
-	return dse.RunFig7(cfg, models, opt)
+func RunFig7With(ctx context.Context, cfg Config, models []string, opt SweepOptions) ([]dse.Fig7Row, error) {
+	return dse.RunFig7(ctx, cfg, models, opt)
 }
 
 // Fig5Table / Fig6Table / Fig7Table render experiment rows as tables.

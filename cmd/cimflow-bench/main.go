@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -30,6 +32,11 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	workers := flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	// Ctrl-C aborts the current simulations mid-run instead of hanging
+	// until the sweep finishes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var subset []string
 	if *models != "" {
@@ -77,7 +84,7 @@ func main() {
 	want := func(n string) bool { return *fig == "all" || *fig == n }
 	if want("5") {
 		run("fig5", func() (*cimflow.Table, error) {
-			rows, err := cimflow.RunFig5With(cfg, subset, opt)
+			rows, err := cimflow.RunFig5With(ctx, cfg, subset, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -86,7 +93,7 @@ func main() {
 	}
 	if want("6") {
 		run("fig6", func() (*cimflow.Table, error) {
-			rows, err := cimflow.RunFig6With(cfg, subset, opt)
+			rows, err := cimflow.RunFig6With(ctx, cfg, subset, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -95,7 +102,7 @@ func main() {
 	}
 	if want("7") {
 		run("fig7", func() (*cimflow.Table, error) {
-			rows, err := cimflow.RunFig7With(cfg, subset, opt)
+			rows, err := cimflow.RunFig7With(ctx, cfg, subset, opt)
 			if err != nil {
 				return nil, err
 			}

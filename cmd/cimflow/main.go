@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"cimflow"
 	"cimflow/internal/compiler"
@@ -72,9 +74,9 @@ func commonFlags(fs *flag.FlagSet) (modelName, archPath, strategy *string, seed 
 }
 
 func load(modelName, archPath, strategy string) (*cimflow.Graph, cimflow.Config, cimflow.Strategy, error) {
-	g := cimflow.Model(modelName)
-	if g == nil {
-		return nil, cimflow.Config{}, 0, fmt.Errorf("unknown model %q", modelName)
+	g, err := cimflow.LookupModel(modelName)
+	if err != nil {
+		return nil, cimflow.Config{}, 0, err
 	}
 	cfg := cimflow.DefaultConfig()
 	if archPath != "" {
@@ -86,6 +88,21 @@ func load(modelName, archPath, strategy string) (*cimflow.Graph, cimflow.Config,
 	}
 	s, err := compiler.ParseStrategy(strategy)
 	return g, cfg, s, err
+}
+
+// newSession builds the Engine session shared by run and validate, with a
+// context that lets Ctrl-C cancel the cycle-accurate simulation mid-run.
+func newSession(g *cimflow.Graph, cfg cimflow.Config, s cimflow.Strategy, seed uint64) (*cimflow.Session, context.Context, context.CancelFunc, error) {
+	engine, err := cimflow.NewEngine(cfg, cimflow.WithStrategy(s), cimflow.WithSeed(seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sess, err := engine.Session(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	return sess, ctx, stop, nil
 }
 
 func configCmd(args []string) error {
@@ -136,7 +153,12 @@ func runCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := cimflow.Run(g, cfg, cimflow.Options{Strategy: s, Seed: *seed})
+	sess, ctx, stop, err := newSession(g, cfg, s, *seed)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	res, err := sess.Infer(ctx, sess.SeededInput(*seed+1))
 	if err != nil {
 		return err
 	}
@@ -158,7 +180,12 @@ func validateCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	mism, err := cimflow.Validate(g, cfg, cimflow.Options{Strategy: s, Seed: *seed})
+	sess, ctx, stop, err := newSession(g, cfg, s, *seed)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	mism, err := sess.Validate(ctx, sess.SeededInput(*seed+1))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,278 @@
+package cimflow
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"cimflow/internal/compiler"
+	"cimflow/internal/core"
+	"cimflow/internal/dse"
+	"cimflow/internal/model"
+)
+
+// Option configures an Engine or a Session built from it. Options replace
+// the flat Options struct of the deprecated free functions: engine-level
+// options set defaults, and Session-level options override them per model.
+type Option func(*settings)
+
+// settings is the resolved option set; it reuses the internal flat struct.
+type settings struct {
+	core.Options
+	cache *dse.CompileCache
+}
+
+// WithStrategy selects the CG-level compilation strategy (default:
+// StrategyGeneric).
+func WithStrategy(s Strategy) Option {
+	return func(o *settings) { o.Strategy = s }
+}
+
+// WithSeed sets the deterministic synthetic-weight seed a Session loads
+// its model parameters from (default 0).
+func WithSeed(seed uint64) Option {
+	return func(o *settings) { o.Seed = seed }
+}
+
+// WithCycleLimit overrides the simulator's runaway guard (0 = default).
+func WithCycleLimit(cycles int64) Option {
+	return func(o *settings) { o.CycleLimit = cycles }
+}
+
+// WithFullBufferLimit forwards the compiler's streaming threshold override
+// (0 = default): activations larger than this stream through ring buffers
+// instead of being staged whole in local memory.
+func WithFullBufferLimit(bytes int32) Option {
+	return func(o *settings) { o.FullBufferLimit = bytes }
+}
+
+// WithMaxPooledChips caps how many idle pre-initialized chips a Session
+// keeps for reuse (0 = GOMAXPROCS). More pooled chips serve more
+// concurrent Infer calls without re-staging weights, at the price of
+// memory: each chip holds the model's full global-memory image.
+func WithMaxPooledChips(n int) Option {
+	return func(o *settings) { o.MaxPooledChips = n }
+}
+
+// WithCompileCache shares a compile cache with the engine — e.g. one a DSE
+// sweep over the same architecture already populated, so serving reuses
+// the sweep's artifacts. Passed to NewEngine it becomes the engine's
+// cache; passed to Session it applies to that session's compilation only
+// (engine-level CompileCalls/CacheHits keep reporting the engine's cache).
+func WithCompileCache(c *CompileCache) Option {
+	return func(o *settings) { o.cache = c }
+}
+
+// Engine is the reusable entry point of the framework: one architecture
+// plus a compile cache and per-(model, strategy) inference Sessions. Where
+// the deprecated Run recompiled the model and rebuilt the chip on every
+// call, an Engine compiles each (model, strategy, …) combination exactly
+// once — reusing the DSE fingerprint cache, so sweeps and serving share
+// artifacts — and Sessions pool pre-initialized chips (weights staged
+// once, activation state reset between runs) for compile-once/infer-many
+// workloads. An Engine is safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	defaults settings
+	cache    *dse.CompileCache
+
+	mu       sync.Mutex
+	sessions map[sessionKey]*sessionEntry
+}
+
+// sessionEntry is one singleflight Session slot: the first caller stages
+// weights and builds the chip pool, concurrent callers share the result
+// (mirroring the CompileCache pattern one layer up).
+type sessionEntry struct {
+	once sync.Once
+	s    *Session
+	err  error
+}
+
+// sessionKey identifies a cached Session: the graph's structural
+// fingerprint plus every option that changes compilation, weights or run
+// behavior. Structural identity (not pointer identity) means a serving
+// loop may re-look a model up per request and still reuse one Session.
+type sessionKey struct {
+	graph      string // dse.GraphFingerprint
+	strategy   Strategy
+	fbl        int32
+	seed       uint64
+	cycleLimit int64
+	maxPooled  int
+	cache      *CompileCache
+}
+
+// NewEngine validates the architecture and returns an Engine whose
+// Sessions share one compile cache. Options set the engine-wide defaults;
+// Session can override them per model.
+func NewEngine(cfg Config, opts ...Option) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		sessions: make(map[sessionKey]*sessionEntry),
+	}
+	for _, opt := range opts {
+		opt(&e.defaults)
+	}
+	e.cache = e.defaults.cache
+	if e.cache == nil {
+		e.cache = dse.NewCompileCache()
+	}
+	return e, nil
+}
+
+// Config returns the engine's architecture description.
+func (e *Engine) Config() Config { return e.cfg }
+
+// CompileCalls reports how many real compilations the engine has performed;
+// with Sessions reused it stays at one per distinct (model, strategy, …).
+func (e *Engine) CompileCalls() int64 { return e.cache.CompileCalls() }
+
+// CacheHits reports how many compilations were served from the cache.
+func (e *Engine) CacheHits() int64 { return e.cache.Hits() }
+
+// Session returns the compile-once/infer-many handle for a model:
+// repeated calls with a structurally identical graph and the same options
+// return the same Session, so its compiled artifact and chip pool are
+// shared — re-looking a model up per request is safe and stays
+// compile-once.
+func (e *Engine) Session(g *Graph, opts ...Option) (*Session, error) {
+	if g == nil {
+		return nil, fmt.Errorf("cimflow: nil graph")
+	}
+	st := e.defaults
+	for _, opt := range opts {
+		opt(&st)
+	}
+	cache := st.cache
+	if cache == nil {
+		cache = e.cache
+	}
+	key := sessionKey{
+		graph:      dse.GraphFingerprint(g),
+		strategy:   st.Strategy,
+		fbl:        st.FullBufferLimit,
+		seed:       st.Seed,
+		cycleLimit: st.CycleLimit,
+		maxPooled:  st.MaxPooledChips,
+		cache:      cache,
+	}
+	e.mu.Lock()
+	entry, ok := e.sessions[key]
+	if !ok {
+		entry = &sessionEntry{}
+		e.sessions[key] = entry
+	}
+	e.mu.Unlock()
+	// Build outside the map lock: concurrent first-time callers of one key
+	// await a single compilation and a single weight-staging pass.
+	entry.once.Do(func() {
+		compiled, err := cache.Compile(g, &e.cfg, compiler.Options{
+			Strategy:        st.Strategy,
+			FullBufferLimit: st.FullBufferLimit,
+		})
+		if err != nil {
+			entry.err = fmt.Errorf("cimflow: compile %s: %w", g.Name, err)
+			return
+		}
+		inner, err := core.NewSession(compiled, model.NewSeededWeights(g, st.Seed), st.Options)
+		if err != nil {
+			entry.err = err
+			return
+		}
+		entry.s = &Session{inner: inner, graph: g}
+	})
+	return entry.s, entry.err
+}
+
+// SessionFor looks a model up by name (see LookupModel) and returns its
+// Session. Sessions key on the graph's structural fingerprint, so the
+// per-request pattern of a serving loop reuses one Session per model.
+func (e *Engine) SessionFor(name string, opts ...Option) (*Session, error) {
+	g, err := LookupModel(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Session(g, opts...)
+}
+
+// Session is a compiled model bound to an Engine: per-core programs built
+// once, weights staged once, chips pooled and reset between runs. It is
+// safe for concurrent use — the serving pattern is one Session shared by
+// many goroutines, each calling Infer with its own input.
+type Session struct {
+	inner *core.Session
+	graph *Graph
+}
+
+// Graph returns the model the session runs.
+func (s *Session) Graph() *Graph { return s.graph }
+
+// Compiled returns the compiled artifact (programs, plan, layout).
+func (s *Session) Compiled() *Compiled { return s.inner.Compiled() }
+
+// InputShape returns the tensor shape Infer expects.
+func (s *Session) InputShape() Shape { return s.inner.InputShape() }
+
+// PooledChips reports how many idle pre-initialized chips the session holds.
+func (s *Session) PooledChips() int { return s.inner.PooledChips() }
+
+// SeededInput returns a deterministic input tensor of the session's input
+// shape — a stand-in for real data in tests and demos.
+func (s *Session) SeededInput(seed uint64) Tensor {
+	return model.SeededInput(s.inner.InputShape(), seed)
+}
+
+// Infer executes one inference on a pooled chip and returns the full
+// result: output tensor, chip-level Stats, and derived metrics. Cancelling
+// ctx aborts the cycle-accurate simulation mid-run with an error wrapping
+// ctx.Err().
+func (s *Session) Infer(ctx context.Context, input Tensor) (*Result, error) {
+	return s.inner.Infer(ctx, input)
+}
+
+// InferBatch runs one inference per input, fanning out across the chip
+// pool. Results align with inputs; on failure the remaining runs are
+// cancelled and the root-cause error is returned.
+func (s *Session) InferBatch(ctx context.Context, inputs []Tensor) ([]*Result, error) {
+	return s.inner.InferBatch(ctx, inputs)
+}
+
+// Validate runs one inference and compares it against the golden reference
+// executor, returning the number of mismatching elements (0 = bit-exact).
+func (s *Session) Validate(ctx context.Context, input Tensor) (int, error) {
+	return s.inner.Validate(ctx, input)
+}
+
+// LookupModel returns a built-in benchmark network by name, or an error
+// naming the known models. It replaces nil-returning Model for callers
+// that want a diagnosable failure.
+func LookupModel(name string) (*Graph, error) {
+	if g := model.Zoo(name); g != nil {
+		return g, nil
+	}
+	return nil, fmt.Errorf("cimflow: unknown model %q (known models: %s)",
+		name, strings.Join(model.ZooNames(), ", "))
+}
+
+// SeededInput returns a deterministic INT8 input tensor for a shape — the
+// synthetic-input generator the deprecated Run applied with seed+1.
+func SeededInput(shape Shape, seed uint64) Tensor {
+	return model.SeededInput(shape, seed)
+}
+
+// optionsFrom adapts a legacy flat Options struct for the deprecated
+// wrappers.
+func optionsFrom(opt Options) []Option {
+	return []Option{
+		WithStrategy(opt.Strategy),
+		WithSeed(opt.Seed),
+		WithCycleLimit(opt.CycleLimit),
+		WithFullBufferLimit(opt.FullBufferLimit),
+		WithMaxPooledChips(opt.MaxPooledChips),
+	}
+}

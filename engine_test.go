@@ -1,0 +1,255 @@
+package cimflow_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"cimflow"
+)
+
+// TestEngineCompileOnceInferMany is the acceptance test of the Engine API:
+// compiling a model once and calling Infer N times performs exactly one
+// compilation (asserted via the engine's cache stats), and every pooled
+// run is byte-identical to an independent deprecated Run call with the
+// same weights and input.
+func TestEngineCompileOnceInferMany(t *testing.T) {
+	cfg := cimflow.DefaultConfig()
+	g, err := cimflow.LookupModel("tinyresnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := cimflow.NewEngine(cfg,
+		cimflow.WithStrategy(cimflow.StrategyDP),
+		cimflow.WithSeed(7),
+		cimflow.WithMaxPooledChips(1)) // force the chip-reuse path
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := engine.Session(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const n = 4
+	for i := 0; i < n; i++ {
+		// Run(seed=7) simulates with weights seed 7 and input seed 8: the
+		// session shares the weights, so the same input must reproduce the
+		// legacy single-shot result exactly.
+		got, err := sess.Infer(ctx, sess.SeededInput(8))
+		if err != nil {
+			t.Fatalf("infer %d: %v", i, err)
+		}
+		want, err := cimflow.Run(g, cfg, cimflow.Options{Strategy: cimflow.StrategyDP, Seed: 7})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got.Stats.Cycles != want.Stats.Cycles || got.EnergyMJ != want.EnergyMJ {
+			t.Fatalf("infer %d: %d cycles %v mJ, independent run %d cycles %v mJ",
+				i, got.Stats.Cycles, got.EnergyMJ, want.Stats.Cycles, want.EnergyMJ)
+		}
+		for j := range want.Output.Data {
+			if got.Output.Data[j] != want.Output.Data[j] {
+				t.Fatalf("infer %d: output byte %d differs from independent run", i, j)
+			}
+		}
+	}
+	if calls := engine.CompileCalls(); calls != 1 {
+		t.Errorf("engine performed %d compilations for %d inferences, want exactly 1", calls, n)
+	}
+	// Re-requesting the session must reuse it, not recompile.
+	again, err := engine.Session(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != sess {
+		t.Error("Session returned a new handle for identical options")
+	}
+	if calls := engine.CompileCalls(); calls != 1 {
+		t.Errorf("session re-request recompiled: %d calls", calls)
+	}
+}
+
+// TestEngineInferCancelled: an already-cancelled context must abort Infer
+// with ctx.Err() before any simulation work happens.
+func TestEngineInferCancelled(t *testing.T) {
+	engine, err := cimflow.NewEngine(cimflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := engine.SessionFor("tinymlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Infer(ctx, sess.SeededInput(1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Infer with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestEngineConcurrentInfer drives one session from many goroutines — the
+// serving pattern — and checks identical inputs produce identical outputs.
+func TestEngineConcurrentInfer(t *testing.T) {
+	engine, err := cimflow.NewEngine(cimflow.DefaultConfig(), cimflow.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := engine.SessionFor("tinycnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ref, err := sess.Infer(ctx, sess.SeededInput(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	outs := make([]*cimflow.Result, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			outs[w], errs[w] = sess.Infer(ctx, sess.SeededInput(9))
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if outs[w].Stats.Cycles != ref.Stats.Cycles {
+			t.Errorf("worker %d: %d cycles, want %d", w, outs[w].Stats.Cycles, ref.Stats.Cycles)
+		}
+		for j := range ref.Output.Data {
+			if outs[w].Output.Data[j] != ref.Output.Data[j] {
+				t.Fatalf("worker %d: output differs at byte %d", w, j)
+			}
+		}
+	}
+	if calls := engine.CompileCalls(); calls != 1 {
+		t.Errorf("%d compilations under concurrency, want 1", calls)
+	}
+}
+
+// TestEngineInferBatch: batch results carry per-run stats and match the
+// input order.
+func TestEngineInferBatch(t *testing.T) {
+	engine, err := cimflow.NewEngine(cimflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := engine.SessionFor("tinymlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []cimflow.Tensor{sess.SeededInput(1), sess.SeededInput(2), sess.SeededInput(3)}
+	results, err := sess.InferBatch(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(inputs) {
+		t.Fatalf("%d results for %d inputs", len(results), len(inputs))
+	}
+	for i, r := range results {
+		if r == nil || r.Stats == nil {
+			t.Fatalf("result %d missing stats", i)
+		}
+		want, err := sess.Infer(context.Background(), inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Output.Data {
+			if r.Output.Data[j] != want.Output.Data[j] {
+				t.Fatalf("batch result %d differs from individual inference", i)
+			}
+		}
+	}
+}
+
+// TestEngineValidateSession: the session-level golden-reference check.
+func TestEngineValidateSession(t *testing.T) {
+	engine, err := cimflow.NewEngine(cimflow.DefaultConfig(),
+		cimflow.WithStrategy(cimflow.StrategyDP), cimflow.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := engine.SessionFor("tinymobile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mism, err := sess.Validate(context.Background(), sess.SeededInput(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mism != 0 {
+		t.Errorf("%d mismatches against the golden reference", mism)
+	}
+}
+
+// TestLookupModel: known names resolve, unknown names get a helpful error.
+func TestLookupModel(t *testing.T) {
+	g, err := cimflow.LookupModel("mobilenetv2")
+	if err != nil || g == nil {
+		t.Fatalf("LookupModel(mobilenetv2) = %v, %v", g, err)
+	}
+	if _, err := cimflow.LookupModel("nope"); err == nil {
+		t.Fatal("LookupModel accepted an unknown name")
+	} else {
+		for _, name := range cimflow.ModelNames() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error %q does not list known model %q", err, name)
+			}
+		}
+	}
+}
+
+// TestSessionReuseKeying: SessionFor must reuse one Session per name, and
+// run-behavior options (cycle limit, pool cap) must key distinct Sessions
+// instead of silently returning one built with different values.
+func TestSessionReuseKeying(t *testing.T) {
+	engine, err := cimflow.NewEngine(cimflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := engine.SessionFor("tinymlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.SessionFor("tinymlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("SessionFor returned distinct sessions for the same name")
+	}
+	limited, err := engine.SessionFor("tinymlp", cimflow.WithCycleLimit(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited == a {
+		t.Error("a different cycle limit returned the unlimited session")
+	}
+	// The tiny limit must actually bind: the simulation aborts.
+	if _, err := limited.Infer(context.Background(), limited.SeededInput(1)); err == nil ||
+		!strings.Contains(err.Error(), "cycle limit") {
+		t.Errorf("cycle-limited session ran to completion: %v", err)
+	}
+	// Both sessions compiled the same artifact: still one compilation.
+	if calls := engine.CompileCalls(); calls != 1 {
+		t.Errorf("%d compilations across keyed sessions, want 1 (cache shared)", calls)
+	}
+}
+
+// TestEngineRejectsBadConfig: NewEngine validates the architecture.
+func TestEngineRejectsBadConfig(t *testing.T) {
+	cfg := cimflow.DefaultConfig()
+	cfg.Chip.CoreRows = 0
+	if _, err := cimflow.NewEngine(cfg); err == nil {
+		t.Error("NewEngine accepted an invalid architecture")
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,16 +40,22 @@ func main() {
 	}
 
 	cfg := cimflow.DefaultConfig()
-	compiled, err := cimflow.Compile(g, cfg, cimflow.StrategyDP)
+	engine, err := cimflow.NewEngine(cfg, cimflow.WithStrategy(cimflow.StrategyDP), cimflow.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess, err := engine.Session(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled := sess.Compiled()
 	fmt.Printf("compiled %s: %d instructions, %d stages\n\n",
 		g.Name, compiled.InstructionCount(), len(compiled.Plan.Stages))
 	fmt.Print(compiled.Plan.Summary())
 
-	// Functional validation: simulated output vs golden reference.
-	mism, err := cimflow.Validate(g, cfg, cimflow.Options{Strategy: cimflow.StrategyDP, Seed: 42})
+	// Functional validation: simulated output vs golden reference, on the
+	// session's already-compiled artifact.
+	mism, err := sess.Validate(context.Background(), sess.SeededInput(43))
 	if err != nil {
 		log.Fatal(err)
 	}

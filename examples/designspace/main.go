@@ -25,8 +25,8 @@ func main() {
 	if len(os.Args) > 1 {
 		name = os.Args[1]
 	}
-	if cimflow.Model(name) == nil {
-		log.Fatalf("unknown model %q (try: %v)", name, cimflow.ModelNames())
+	if _, err := cimflow.LookupModel(name); err != nil {
+		log.Fatal(err)
 	}
 
 	spec := &cimflow.SweepSpec{

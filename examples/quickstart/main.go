@@ -1,11 +1,14 @@
 // Quickstart: compile a benchmark DNN for the paper's default digital CIM
-// architecture (Table I), simulate one inference cycle-accurately, and
-// print the performance/energy report.
+// architecture (Table I) through a reusable Engine, simulate inferences
+// cycle-accurately on a pooled chip, and print the performance/energy
+// report. The model is compiled exactly once no matter how many times
+// Infer runs — the compile-once/infer-many split of the paper's Fig. 2.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,14 +16,27 @@ import (
 )
 
 func main() {
-	g := cimflow.Model("resnet18")
+	g, err := cimflow.LookupModel("resnet18")
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := cimflow.DefaultConfig()
 	fmt.Printf("model: %s (%.1f MB INT8 weights, %.2f GMACs)\n",
 		g.Name, float64(g.TotalWeightBytes())/(1<<20), float64(g.TotalMACs())/1e9)
 	fmt.Printf("architecture: %s (%d cores, %.0f TOPS peak, %d MB CIM capacity)\n\n",
 		cfg.Name, cfg.NumCores(), cfg.PeakTOPS(), cfg.ChipWeightBytes()>>20)
 
-	res, err := cimflow.Run(g, cfg, cimflow.Options{Strategy: cimflow.StrategyDP, Seed: 1})
+	engine, err := cimflow.NewEngine(cfg, cimflow.WithStrategy(cimflow.StrategyDP), cimflow.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := engine.Session(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	res, err := sess.Infer(ctx, sess.SeededInput(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,4 +44,12 @@ func main() {
 	fmt.Printf("\nlatency %.3f ms, %.2f TOPS, %.4f mJ per inference\n",
 		res.Seconds*1e3, res.TOPS, res.EnergyMJ)
 	fmt.Printf("plan: %d execution stages\n", len(res.Compiled.Plan.Stages))
+
+	// A second inference with a different input reuses the compiled
+	// programs and the weight-loaded chip; only the simulation itself runs.
+	if _, err := sess.Infer(ctx, sess.SeededInput(3)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2 inferences, %d compilation(s), %d pooled chip(s)\n",
+		engine.CompileCalls(), sess.PooledChips())
 }

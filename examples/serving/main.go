@@ -1,0 +1,125 @@
+// Serving: drive one Engine from many goroutines — the
+// compile-once/infer-many workload the Engine API exists for. A single
+// Session compiles the model once and stages its weights once; concurrent
+// workers then push their own inputs through pooled chips, every result
+// carries per-run Stats, and a deadline on the shared context aborts any
+// still-running simulations mid-flight.
+//
+//	go run ./examples/serving [model] [workers] [requests-per-worker]
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"cimflow"
+)
+
+func main() {
+	name, workers, perWorker := "tinyresnet", 4, 8
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	parsePositive := func(arg, what string) int {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			log.Fatalf("%s must be a positive integer, got %q", what, arg)
+		}
+		return n
+	}
+	if len(os.Args) > 2 {
+		workers = parsePositive(os.Args[2], "workers")
+	}
+	if len(os.Args) > 3 {
+		perWorker = parsePositive(os.Args[3], "requests-per-worker")
+	}
+	g, err := cimflow.LookupModel(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine, err := cimflow.NewEngine(cimflow.DefaultConfig(),
+		cimflow.WithStrategy(cimflow.StrategyDP),
+		cimflow.WithSeed(1),
+		cimflow.WithMaxPooledChips(workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := engine.Session(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s: %d workers x %d requests, input %v\n",
+		g.Name, workers, perWorker, sess.InputShape())
+
+	// One deadline guards the whole fleet: when it fires, every in-flight
+	// cycle-accurate simulation aborts with context.DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	type tally struct {
+		done      int
+		cycles    int64
+		energyMJ  float64
+		cancelled int
+		err       error // first non-cancellation failure
+	}
+	tallies := make([]tally, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < perWorker; r++ {
+				// Each worker serves its own request stream: a distinct
+				// input tensor per request, as a real frontend would.
+				input := sess.SeededInput(uint64(1000*w + r))
+				res, err := sess.Infer(ctx, input)
+				switch {
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					tallies[w].cancelled++
+				case err != nil:
+					if tallies[w].err == nil {
+						tallies[w].err = err
+					}
+				default:
+					tallies[w].done++
+					tallies[w].cycles += res.Stats.Cycles
+					tallies[w].energyMJ += res.EnergyMJ
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total tally
+	for _, t := range tallies {
+		total.done += t.done
+		total.cycles += t.cycles
+		total.energyMJ += t.energyMJ
+		total.cancelled += t.cancelled
+		if total.err == nil {
+			total.err = t.err
+		}
+	}
+	if total.err != nil {
+		log.Fatalf("inference failed: %v", total.err)
+	}
+	fmt.Printf("\n%d inferences in %v (%.1f inf/s wall-clock), %d cancelled\n",
+		total.done, elapsed.Round(time.Millisecond),
+		float64(total.done)/elapsed.Seconds(), total.cancelled)
+	if total.done > 0 {
+		fmt.Printf("per inference: %d simulated cycles, %.4f mJ\n",
+			total.cycles/int64(total.done), total.energyMJ/float64(total.done))
+	}
+	fmt.Printf("compilations: %d (cache hits %d), pooled chips: %d\n",
+		engine.CompileCalls(), engine.CacheHits(), sess.PooledChips())
+}

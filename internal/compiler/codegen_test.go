@@ -108,6 +108,51 @@ func TestGlobalInitCoversWeights(t *testing.T) {
 	}
 }
 
+// TestScratchRangesComplementStatic: ScratchRanges plus the StaticInit
+// segments must tile [0, GlobalBytes) exactly, with no overlap — the
+// invariant that makes "zero scratch + rewrite input" equivalent to a fresh
+// chip's zeroed global memory.
+func TestScratchRangesComplementStatic(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.TinyCNN()
+	c := compileOrDie(t, g, &cfg, StrategyGeneric)
+	ws := model.NewSeededWeights(g, 1)
+	static, err := c.StaticInit(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]int, c.GlobalBytes())
+	for _, s := range static {
+		for i := s.Addr; i < s.Addr+len(s.Data); i++ {
+			covered[i]++
+		}
+	}
+	for _, r := range c.ScratchRanges() {
+		for i := r[0]; i < r[0]+r[1]; i++ {
+			covered[i]++
+		}
+	}
+	for i, n := range covered {
+		if n != 1 {
+			t.Fatalf("byte %d covered %d times, want exactly once", i, n)
+		}
+	}
+	// The input region must be scratch, not static.
+	in, err := c.InputSegment(model.SeededInput(g.Nodes[0].OutShape, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inScratch := false
+	for _, r := range c.ScratchRanges() {
+		if in.Addr >= r[0] && in.Addr+len(in.Data) <= r[0]+r[1] {
+			inScratch = true
+		}
+	}
+	if !inScratch {
+		t.Error("input region is not inside a scratch range")
+	}
+}
+
 func TestGlobalInitRejectsBadInput(t *testing.T) {
 	cfg := arch.DefaultConfig()
 	g := model.TinyMLP()

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"encoding/binary"
 	"testing"
 
@@ -28,7 +29,7 @@ func execEmitter(t *testing.T, build func(e *emitter)) int32 {
 	if err := ch.LoadProgram(sim.Program{Core: 0, Code: e.code}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mem, err := ch.ReadLocal(0, 256, 4)

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"sort"
 
 	"cimflow/internal/arch"
 	"cimflow/internal/model"
@@ -134,15 +135,38 @@ func (c *Compiled) InstructionCount() int {
 	return n
 }
 
-// GlobalInit builds the global-memory initialization: the input tensor,
-// every node's weights (pre-tiled for CIM loading), and the per-core
-// constant pools.
+// GlobalInit builds the full global-memory initialization: the input
+// tensor, every node's weights (pre-tiled for CIM loading), and the
+// per-core constant pools. It is InputSegment + StaticInit; sessions that
+// pool chips call those separately so weights are staged once while the
+// input is refreshed per inference.
 func (c *Compiled) GlobalInit(ws model.WeightStore, input tensor.Tensor) ([]sim.GlobalSegment, error) {
+	in, err := c.InputSegment(input)
+	if err != nil {
+		return nil, err
+	}
+	static, err := c.StaticInit(ws)
+	if err != nil {
+		return nil, err
+	}
+	return append([]sim.GlobalSegment{in}, static...), nil
+}
+
+// InputSegment builds the input-tensor segment for one inference.
+func (c *Compiled) InputSegment(input tensor.Tensor) (sim.GlobalSegment, error) {
 	in := c.Graph.Nodes[0].OutShape
 	if input.Len() != in.Elems() {
-		return nil, fmt.Errorf("compiler: input has %d elements, graph needs %d", input.Len(), in.Elems())
+		return sim.GlobalSegment{}, fmt.Errorf("compiler: input has %d elements, graph needs %d", input.Len(), in.Elems())
 	}
-	segs := []sim.GlobalSegment{{Addr: int(c.layout.inputAddr), Data: int8ToBytes(input.Data)}}
+	return sim.GlobalSegment{Addr: int(c.layout.inputAddr), Data: int8ToBytes(input.Data)}, nil
+}
+
+// StaticInit builds the write-once global segments: every node's weights
+// (pre-tiled into the CIM macro-group layout) and the per-core constant
+// pools — everything in global memory that does not change between
+// inferences of the same compiled model.
+func (c *Compiled) StaticInit(ws model.WeightStore) ([]sim.GlobalSegment, error) {
+	var segs []sim.GlobalSegment
 	gc := c.Cfg.GroupChannels()
 	for id, base := range c.layout.weightAddr {
 		n := c.Graph.Node(id)
@@ -178,6 +202,38 @@ func (c *Compiled) GlobalInit(ws model.WeightStore, input tensor.Tensor) ([]sim.
 		}
 	}
 	return append(segs, c.poolSegs...), nil
+}
+
+// ScratchRanges returns the global-memory byte ranges NOT covered by
+// StaticInit: the input region, activation buffers and alignment padding.
+// Zeroing them (plus rewriting the input) restores a reused chip's global
+// memory to the freshly-initialized state byte for byte, which is what
+// makes pooled-chip inference results identical to fresh-chip runs.
+func (c *Compiled) ScratchRanges() [][2]int {
+	type span struct{ lo, hi int }
+	var static []span
+	for id, base := range c.layout.weightAddr {
+		n := c.Graph.Node(id)
+		static = append(static, span{int(base), int(base) + int(weightRegionBytes(c.Graph, c.Cfg, n))})
+	}
+	for _, s := range c.poolSegs {
+		static = append(static, span{s.Addr, s.Addr + len(s.Data)})
+	}
+	sort.Slice(static, func(i, j int) bool { return static[i].lo < static[j].lo })
+	var out [][2]int
+	pos := 0
+	for _, s := range static {
+		if s.lo > pos {
+			out = append(out, [2]int{pos, s.lo - pos})
+		}
+		if s.hi > pos {
+			pos = s.hi
+		}
+	}
+	if total := int(c.layout.size); pos < total {
+		out = append(out, [2]int{pos, total - pos})
+	}
+	return out
 }
 
 // ReadOutput reassembles the network output tensor from the piece-structured

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"cimflow/internal/arch"
@@ -26,7 +28,7 @@ func TestSmokeDown(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := arch.DefaultConfig()
-	mism, err := Validate(g, cfg, Options{Strategy: compiler.StrategyGeneric, Seed: 3})
+	mism, err := Validate(context.Background(), g, cfg, Options{Strategy: compiler.StrategyGeneric, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

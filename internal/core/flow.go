@@ -1,10 +1,12 @@
 // Package core is the integrated CIMFlow workflow: it couples the compiler
-// and the cycle-accurate simulator behind one entry point, runs functional
-// validation against the golden tensor library, and drives the experiment
-// sweeps that regenerate the paper's figures.
+// and the cycle-accurate simulator behind one entry point, provides the
+// compile-once/infer-many Session that the public Engine API is built on,
+// runs functional validation against the golden tensor library, and
+// underpins the experiment sweeps that regenerate the paper's figures.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cimflow/internal/arch"
@@ -26,6 +28,22 @@ type Result struct {
 	Throughput float64 // inferences per second
 }
 
+// newResult assembles the derived metrics of a completed simulation.
+func newResult(compiled *compiler.Compiled, stats *sim.Stats, out tensor.Tensor, clockGHz float64) *Result {
+	res := &Result{
+		Compiled: compiled,
+		Stats:    stats,
+		Output:   out,
+		Seconds:  stats.Seconds(clockGHz),
+		TOPS:     stats.TOPS(clockGHz),
+		EnergyMJ: stats.EnergyMJ(),
+	}
+	if res.Seconds > 0 {
+		res.Throughput = 1 / res.Seconds
+	}
+	return res
+}
+
 // Options configures a run.
 type Options struct {
 	Strategy compiler.Strategy
@@ -34,11 +52,14 @@ type Options struct {
 	CycleLimit int64
 	// FullBufferLimit forwards the compiler's streaming threshold override.
 	FullBufferLimit int32
+	// MaxPooledChips caps a Session's idle-chip pool (0 = GOMAXPROCS).
+	MaxPooledChips int
 }
 
 // Run compiles the model for the architecture and executes it on the
-// simulator with deterministic synthetic weights and input.
-func Run(g *model.Graph, cfg arch.Config, opt Options) (*Result, error) {
+// simulator with deterministic synthetic weights and input. Cancelling ctx
+// aborts the simulation mid-run.
+func Run(ctx context.Context, g *model.Graph, cfg arch.Config, opt Options) (*Result, error) {
 	compiled, err := compiler.Compile(g, &cfg, compiler.Options{
 		Strategy:        opt.Strategy,
 		FullBufferLimit: opt.FullBufferLimit,
@@ -48,62 +69,26 @@ func Run(g *model.Graph, cfg arch.Config, opt Options) (*Result, error) {
 	}
 	ws := model.NewSeededWeights(g, opt.Seed)
 	input := model.SeededInput(g.Nodes[0].OutShape, opt.Seed+1)
-	return Simulate(compiled, ws, input, opt)
+	return Simulate(ctx, compiled, ws, input, opt)
 }
 
 // Simulate executes an already-compiled model with the given weights and
-// input tensor.
-func Simulate(compiled *compiler.Compiled, ws model.WeightStore, input tensor.Tensor, opt Options) (*Result, error) {
-	cfg := *compiled.Cfg
-	chip, err := sim.NewChip(&cfg)
+// input tensor: a one-shot Session. Callers running the same compiled
+// model repeatedly should hold a Session instead, which stages weights
+// once and pools chips across runs.
+func Simulate(ctx context.Context, compiled *compiler.Compiled, ws model.WeightStore, input tensor.Tensor, opt Options) (*Result, error) {
+	s, err := NewSession(compiled, ws, opt)
 	if err != nil {
 		return nil, err
 	}
-	chip.EnsureGlobal(compiled.GlobalBytes())
-	if opt.CycleLimit != 0 {
-		chip.CycleLimit = opt.CycleLimit
-	}
-	segs, err := compiled.GlobalInit(ws, input)
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range segs {
-		if err := chip.InitGlobal(s); err != nil {
-			return nil, err
-		}
-	}
-	for _, p := range compiled.Programs {
-		if err := chip.LoadProgram(p); err != nil {
-			return nil, err
-		}
-	}
-	stats, err := chip.Run()
-	if err != nil {
-		return nil, fmt.Errorf("core: simulating %s: %w", compiled.Graph.Name, err)
-	}
-	out, err := compiled.ReadOutput(chip.ReadGlobal)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Compiled: compiled,
-		Stats:    stats,
-		Output:   out,
-		Seconds:  stats.Seconds(cfg.ClockGHz),
-		TOPS:     stats.TOPS(cfg.ClockGHz),
-		EnergyMJ: stats.EnergyMJ(),
-	}
-	if res.Seconds > 0 {
-		res.Throughput = 1 / res.Seconds
-	}
-	return res, nil
+	return s.Infer(ctx, input)
 }
 
 // Validate runs the model end to end and compares the simulated output with
 // the golden reference executor; it returns the number of mismatching
 // elements (0 = exact functional match).
-func Validate(g *model.Graph, cfg arch.Config, opt Options) (int, error) {
-	res, err := Run(g, cfg, opt)
+func Validate(ctx context.Context, g *model.Graph, cfg arch.Config, opt Options) (int, error) {
+	res, err := Run(ctx, g, cfg, opt)
 	if err != nil {
 		return -1, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"cimflow/internal/arch"
@@ -15,7 +17,7 @@ func TestTinyModelsFunctional(t *testing.T) {
 	cfg := arch.DefaultConfig()
 	for _, name := range []string{"tinymlp", "tinycnn", "tinyresnet", "tinymobile", "tinyse"} {
 		for _, s := range []compiler.Strategy{compiler.StrategyGeneric, compiler.StrategyDuplication, compiler.StrategyDP} {
-			mism, err := Validate(model.Zoo(name), cfg, Options{Strategy: s, Seed: 11})
+			mism, err := Validate(context.Background(), model.Zoo(name), cfg, Options{Strategy: s, Seed: 11})
 			if err != nil {
 				t.Fatalf("%s/%v: %v", name, s, err)
 			}

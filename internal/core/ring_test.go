@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"cimflow/internal/arch"
@@ -13,7 +15,7 @@ import (
 func TestRingModeFunctional(t *testing.T) {
 	cfg := arch.DefaultConfig()
 	for _, name := range []string{"tinycnn", "tinyresnet"} {
-		mism, err := Validate(model.Zoo(name), cfg, Options{
+		mism, err := Validate(context.Background(), model.Zoo(name), cfg, Options{
 			Strategy:        compiler.StrategyGeneric,
 			Seed:            5,
 			FullBufferLimit: 64, // force rings everywhere possible

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+	"cimflow/internal/sim"
+	"cimflow/internal/tensor"
+)
+
+// Session is a compiled model prepared for repeated inference: the
+// pre-tiled weight segments are built once, and simulated chips are pooled
+// and reset between runs instead of rebuilt, so the cost of one Infer is
+// just the cycle-accurate simulation itself. A Session is safe for
+// concurrent use; each in-flight Infer owns one chip.
+//
+// Pooled runs are byte-identical to fresh-chip runs: Chip.Reset clears all
+// core/NoC state, the scratch ranges (input, activations, padding) are
+// zeroed, and the resident weight segments are exactly what StaticInit
+// would rewrite.
+type Session struct {
+	compiled *compiler.Compiled
+	ws       model.WeightStore
+	opt      Options
+	cfg      arch.Config // stable copy referenced by every pooled chip
+	static   []sim.GlobalSegment
+	scratch  [][2]int
+	free     chan *sim.Chip
+}
+
+// NewSession stages a compiled model for inference with the given weights.
+// Options.Strategy and FullBufferLimit are ignored here (they were consumed
+// at compile time); CycleLimit and MaxPooledChips apply per run.
+func NewSession(compiled *compiler.Compiled, ws model.WeightStore, opt Options) (*Session, error) {
+	static, err := compiled.StaticInit(ws)
+	if err != nil {
+		return nil, err
+	}
+	poolCap := opt.MaxPooledChips
+	if poolCap <= 0 {
+		poolCap = runtime.GOMAXPROCS(0)
+	}
+	return &Session{
+		compiled: compiled,
+		ws:       ws,
+		opt:      opt,
+		cfg:      *compiled.Cfg,
+		static:   static,
+		scratch:  compiled.ScratchRanges(),
+		free:     make(chan *sim.Chip, poolCap),
+	}, nil
+}
+
+// Compiled returns the compiled artifact the session runs.
+func (s *Session) Compiled() *compiler.Compiled { return s.compiled }
+
+// Weights returns the session's weight store (used by Validate and the
+// golden reference executor).
+func (s *Session) Weights() model.WeightStore { return s.ws }
+
+// InputShape returns the tensor shape Infer expects.
+func (s *Session) InputShape() model.Shape { return s.compiled.Graph.Nodes[0].OutShape }
+
+// PooledChips reports how many idle pre-initialized chips the session
+// currently holds.
+func (s *Session) PooledChips() int { return len(s.free) }
+
+// newChip builds a fresh chip with programs loaded and weights staged.
+func (s *Session) newChip() (*sim.Chip, error) {
+	ch, err := sim.NewChip(&s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	ch.EnsureGlobal(s.compiled.GlobalBytes())
+	if s.opt.CycleLimit != 0 {
+		ch.CycleLimit = s.opt.CycleLimit
+	}
+	for _, p := range s.compiled.Programs {
+		if err := ch.LoadProgram(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, seg := range s.static {
+		if err := ch.InitGlobal(seg); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}
+
+// acquire returns a ready-to-run chip: a pooled one reset to pristine
+// state, or a freshly built one when the pool is empty.
+func (s *Session) acquire() (*sim.Chip, error) {
+	select {
+	case ch := <-s.free:
+		ch.Reset()
+		for _, r := range s.scratch {
+			if err := ch.ZeroGlobal(r[0], r[1]); err != nil {
+				return nil, err
+			}
+		}
+		return ch, nil
+	default:
+		return s.newChip()
+	}
+}
+
+// release returns a chip to the pool, dropping it when the pool is full.
+// Chips that errored or were cancelled mid-run are safe to return: acquire
+// resets all dynamic state before reuse.
+func (s *Session) release(ch *sim.Chip) {
+	select {
+	case s.free <- ch:
+	default:
+	}
+}
+
+// Infer executes one inference with the given input tensor on a pooled
+// chip. Cancelling ctx aborts the simulation mid-run with an error
+// wrapping ctx.Err().
+func (s *Session) Infer(ctx context.Context, input tensor.Tensor) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	seg, err := s.compiled.InputSegment(input)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if err := ch.InitGlobal(seg); err != nil {
+		return nil, err
+	}
+	stats, err := ch.Run(ctx)
+	if err != nil {
+		s.release(ch)
+		return nil, fmt.Errorf("core: simulating %s: %w", s.compiled.Graph.Name, err)
+	}
+	out, err := s.compiled.ReadOutput(ch.ReadGlobal)
+	s.release(ch)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(s.compiled, stats, out, s.cfg.ClockGHz), nil
+}
+
+// InferBatch runs one inference per input, fanning out across the chip
+// pool. Results align with inputs; on failure the remaining runs are
+// cancelled and the root-cause error is returned (entries that did not
+// complete stay nil).
+func (s *Session) InferBatch(ctx context.Context, inputs []tensor.Tensor) ([]*Result, error) {
+	results := make([]*Result, len(inputs))
+	if len(inputs) == 0 {
+		return results, ctx.Err()
+	}
+	workers := cap(s.free)
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		for i, in := range inputs {
+			res, err := s.Infer(ctx, in)
+			if err != nil {
+				return results, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		// Induced cancellations never precede the root cause: fail is
+		// called with the real error before cancel() propagates.
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := s.Infer(runCtx, inputs[i])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range inputs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, firstErr
+}
+
+// Validate runs one inference and compares it element-for-element against
+// the golden reference executor using the session's weights; it returns
+// the number of mismatching output elements (0 = exact functional match).
+func (s *Session) Validate(ctx context.Context, input tensor.Tensor) (int, error) {
+	res, err := s.Infer(ctx, input)
+	if err != nil {
+		return -1, err
+	}
+	refs, err := model.Execute(s.compiled.Graph, input, s.ws)
+	if err != nil {
+		return -1, err
+	}
+	ref := refs[s.compiled.OutputNode]
+	if ref.Len() != res.Output.Len() {
+		return -1, fmt.Errorf("core: output size %d != reference %d", res.Output.Len(), ref.Len())
+	}
+	mismatches := 0
+	for i := range ref.Data {
+		if ref.Data[i] != res.Output.Data[i] {
+			mismatches++
+		}
+	}
+	return mismatches, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+	"cimflow/internal/tensor"
+)
+
+// TestSessionPooledRunsMatchFreshRuns: a session reusing one pooled chip
+// must produce byte-identical outputs and identical cycle counts to
+// independent fresh-chip Simulate calls, for several different inputs.
+func TestSessionPooledRunsMatchFreshRuns(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.TinyResNet()
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := model.NewSeededWeights(g, 1)
+	// MaxPooledChips=1 forces every inference after the first through the
+	// Reset+ZeroGlobal reuse path.
+	s, err := NewSession(compiled, ws, Options{MaxPooledChips: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for seed := uint64(2); seed < 6; seed++ {
+		input := model.SeededInput(g.Nodes[0].OutShape, seed)
+		got, err := s.Infer(ctx, input)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := Simulate(ctx, compiled, ws, input, Options{})
+		if err != nil {
+			t.Fatalf("seed %d fresh: %v", seed, err)
+		}
+		if got.Stats.Cycles != want.Stats.Cycles {
+			t.Errorf("seed %d: pooled %d cycles, fresh %d", seed, got.Stats.Cycles, want.Stats.Cycles)
+		}
+		if got.EnergyMJ != want.EnergyMJ {
+			t.Errorf("seed %d: pooled %v mJ, fresh %v", seed, got.EnergyMJ, want.EnergyMJ)
+		}
+		a := int8Bytes(got.Output)
+		b := int8Bytes(want.Output)
+		if !bytes.Equal(a, b) {
+			t.Errorf("seed %d: pooled output differs from fresh run", seed)
+		}
+	}
+	if s.PooledChips() != 1 {
+		t.Errorf("pool holds %d chips, want 1", s.PooledChips())
+	}
+}
+
+// TestSessionInferBatch: batch results must match individual inferences,
+// in input order.
+func TestSessionInferBatch(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.TinyCNN()
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := model.NewSeededWeights(g, 7)
+	s, err := NewSession(compiled, ws, Options{MaxPooledChips: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var inputs []tensor.Tensor
+	for seed := uint64(10); seed < 16; seed++ {
+		inputs = append(inputs, model.SeededInput(g.Nodes[0].OutShape, seed))
+	}
+	batch, err := s.InferBatch(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inputs {
+		want, err := s.Infer(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] == nil {
+			t.Fatalf("batch result %d is nil", i)
+		}
+		if !bytes.Equal(int8Bytes(batch[i].Output), int8Bytes(want.Output)) {
+			t.Errorf("batch result %d differs from individual inference", i)
+		}
+	}
+}
+
+// TestSessionInferCancelled: an already-cancelled context must fail fast,
+// and InferBatch must propagate the cancellation.
+func TestSessionInferCancelled(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.TinyMLP()
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(compiled, model.NewSeededWeights(g, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	input := model.SeededInput(g.Nodes[0].OutShape, 2)
+	if _, err := s.Infer(ctx, input); !errors.Is(err, context.Canceled) {
+		t.Errorf("Infer = %v, want context.Canceled", err)
+	}
+	if _, err := s.InferBatch(ctx, []tensor.Tensor{input, input}); !errors.Is(err, context.Canceled) {
+		t.Errorf("InferBatch = %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionRejectsBadInput: a mis-shaped tensor is rejected before any
+// chip is touched.
+func TestSessionRejectsBadInput(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.TinyMLP()
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(compiled, model.NewSeededWeights(g, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Infer(context.Background(), tensor.New(1, 1, 1)); err == nil {
+		t.Error("Infer accepted a mis-shaped input")
+	}
+}
+
+func int8Bytes(t tensor.Tensor) []byte {
+	out := make([]byte, len(t.Data))
+	for i, v := range t.Data {
+		out[i] = byte(v)
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"cimflow/internal/arch"
@@ -10,7 +12,7 @@ import (
 
 func TestSmokeResNet(t *testing.T) {
 	cfg := arch.DefaultConfig()
-	res, err := Run(model.ResNet18(), cfg, Options{Strategy: compiler.StrategyGeneric, Seed: 1})
+	res, err := Run(context.Background(), model.ResNet18(), cfg, Options{Strategy: compiler.StrategyGeneric, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

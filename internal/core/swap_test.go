@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"cimflow/internal/arch"
@@ -20,7 +22,7 @@ func TestMultiPassConvFunctional(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"tinycnn", "tinyresnet"} {
-		mism, err := Validate(model.Zoo(name), cfg, Options{Strategy: compiler.StrategyGeneric, Seed: 9})
+		mism, err := Validate(context.Background(), model.Zoo(name), cfg, Options{Strategy: compiler.StrategyGeneric, Seed: 9})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

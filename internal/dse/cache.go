@@ -29,11 +29,28 @@ func Fingerprint(cfg *arch.Config) string {
 	return hex.EncodeToString(sum[:16])
 }
 
-// cacheKey identifies one compiled artifact: the model, the hardware
-// fingerprint and every compiler option that affects code generation.
-func cacheKey(modelName string, cfg *arch.Config, opt compiler.Options) string {
-	return fmt.Sprintf("%s|%s|%v|mc%d|fb%d",
-		modelName, Fingerprint(cfg), opt.Strategy, opt.MaxClosures, opt.FullBufferLimit)
+// GraphFingerprint returns a stable structural identity for a model: the
+// hex SHA-256 over every node's printed field values (the cosmetic graph
+// Name is excluded, mirroring Fingerprint). Two graphs agree iff every
+// node, shape and quantization parameter agrees, so distinct models that
+// happen to share a Name (e.g. iterations of a user-built graph) never
+// share a compiled artifact. Unlike a JSON encoding, fmt tolerates
+// non-finite quantization scales in user-built graphs.
+func GraphFingerprint(g *model.Graph) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d", len(g.Nodes))
+	for _, n := range g.Nodes {
+		fmt.Fprintf(h, "|%+v", *n)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// cacheKey identifies one compiled artifact: the model's structural
+// fingerprint (name kept as a debuggable prefix), the hardware fingerprint
+// and every compiler option that affects code generation.
+func cacheKey(g *model.Graph, cfg *arch.Config, opt compiler.Options) string {
+	return fmt.Sprintf("%s@%s|%s|%v|mc%d|fb%d",
+		g.Name, GraphFingerprint(g), Fingerprint(cfg), opt.Strategy, opt.MaxClosures, opt.FullBufferLimit)
 }
 
 // cacheEntry is one singleflight compilation slot: the first caller
@@ -65,7 +82,7 @@ func NewCompileCache() *CompileCache {
 // most once per distinct key. The returned Compiled references a
 // cache-owned copy of cfg, so callers may let cfg go out of scope.
 func (c *CompileCache) Compile(g *model.Graph, cfg *arch.Config, opt compiler.Options) (*compiler.Compiled, error) {
-	key := cacheKey(g.Name, cfg, opt)
+	key := cacheKey(g, cfg, opt)
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {

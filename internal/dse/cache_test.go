@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -49,17 +50,69 @@ func TestFingerprintStability(t *testing.T) {
 // and compiler options sharing one hardware config.
 func TestCacheKeyDiscriminates(t *testing.T) {
 	cfg := arch.DefaultConfig()
+	tinycnn, tinymlp := model.TinyCNN(), model.TinyMLP()
 	keys := map[string]bool{}
 	for _, k := range []string{
-		cacheKey("tinycnn", &cfg, compiler.Options{Strategy: compiler.StrategyGeneric}),
-		cacheKey("tinycnn", &cfg, compiler.Options{Strategy: compiler.StrategyDP}),
-		cacheKey("tinymlp", &cfg, compiler.Options{Strategy: compiler.StrategyGeneric}),
-		cacheKey("tinycnn", &cfg, compiler.Options{Strategy: compiler.StrategyGeneric, FullBufferLimit: 4096}),
+		cacheKey(tinycnn, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric}),
+		cacheKey(tinycnn, &cfg, compiler.Options{Strategy: compiler.StrategyDP}),
+		cacheKey(tinymlp, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric}),
+		cacheKey(tinycnn, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric, FullBufferLimit: 4096}),
 	} {
 		if keys[k] {
 			t.Fatalf("duplicate cache key %q", k)
 		}
 		keys[k] = true
+	}
+}
+
+// TestCacheDistinguishesSameNameGraphs: two structurally different graphs
+// that share a Name must not share a compiled artifact — the cache keys on
+// the graph fingerprint, not just the name.
+func TestCacheDistinguishesSameNameGraphs(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g1, x := model.NewGraph("custom", model.Shape{H: 8, W: 8, C: 4})
+	x = g1.Conv("c1", x, 8, 3, 1, 1, true)
+	g1.Dense("fc", g1.Flatten("f", g1.GlobalAvgPool("gap", x)), 5, false)
+	g2, y := model.NewGraph("custom", model.Shape{H: 8, W: 8, C: 4})
+	y = g2.Conv("c1", y, 16, 3, 1, 1, true) // wider conv, same names
+	g2.Dense("fc", g2.Flatten("f", g2.GlobalAvgPool("gap", y)), 5, false)
+	if GraphFingerprint(g1) == GraphFingerprint(g2) {
+		t.Fatal("distinct graphs share a fingerprint")
+	}
+	if GraphFingerprint(g1) != GraphFingerprint(g1) {
+		t.Fatal("fingerprint is not stable")
+	}
+	// Non-finite quantization scales in user-built graphs must fingerprint
+	// (differently), not panic.
+	gNaN, z := model.NewGraph("custom", model.Shape{H: 4, W: 4, C: 2})
+	gNaN.Sigmoid("sig", z, float32(math.NaN()), 1)
+	gFin, z2 := model.NewGraph("custom", model.Shape{H: 4, W: 4, C: 2})
+	gFin.Sigmoid("sig", z2, 0.5, 1)
+	if GraphFingerprint(gNaN) == GraphFingerprint(gFin) {
+		t.Fatal("NaN-scale graph shares a fingerprint with a finite one")
+	}
+	c := NewCompileCache()
+	c1, err := c.Compile(g1, &cfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c.Compile(g2, &cfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("same-name graphs shared one compiled artifact")
+	}
+	if c.CompileCalls() != 2 {
+		t.Errorf("compile calls = %d, want 2", c.CompileCalls())
+	}
+	// The same graph value still hits the cache.
+	again, err := c.Compile(g1, &cfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != c1 || c.CompileCalls() != 2 {
+		t.Error("identical graph did not hit the cache")
 	}
 }
 

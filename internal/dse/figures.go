@@ -52,7 +52,7 @@ func strategyNames(strats []compiler.Strategy) []string {
 // RunFig5 reproduces the compilation-optimization comparison of Fig. 5 on
 // the given architecture. Rows are identical to the historical serial
 // implementation at any parallelism.
-func RunFig5(cfg arch.Config, models []string, opt RunOptions) ([]Fig5Row, error) {
+func RunFig5(ctx context.Context, cfg arch.Config, models []string, opt RunOptions) ([]Fig5Row, error) {
 	if len(models) == 0 {
 		models = Fig5Models
 	}
@@ -61,7 +61,7 @@ func RunFig5(cfg arch.Config, models []string, opt RunOptions) ([]Fig5Row, error
 	if err != nil {
 		return nil, err
 	}
-	results, err := Run(context.Background(), points, opt)
+	results, err := Run(ctx, points, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +116,8 @@ type Fig6Row struct {
 // RunFig6 reproduces the architectural exploration of Fig. 6: the energy
 // breakdown (local memory / compute / NoC) and throughput across MG sizes
 // and NoC flit widths, compiled with the generic mapping strategy.
-func RunFig6(base arch.Config, models []string, opt RunOptions) ([]Fig6Row, error) {
-	return runSweep(base, models, []compiler.Strategy{compiler.StrategyGeneric}, opt)
+func RunFig6(ctx context.Context, base arch.Config, models []string, opt RunOptions) ([]Fig6Row, error) {
+	return runSweep(ctx, base, models, []compiler.Strategy{compiler.StrategyGeneric}, opt)
 }
 
 // Fig7Row is one point of the Fig. 7 design-space scatter.
@@ -134,8 +134,8 @@ type Fig7Row struct {
 // the same hardware sweep under both the generic and the DP-optimized
 // compilation strategies. With a cache shared across figures, the generic
 // half reuses every artifact Fig. 6 already compiled.
-func RunFig7(base arch.Config, models []string, opt RunOptions) ([]Fig7Row, error) {
-	rows6, err := runSweep(base, models, []compiler.Strategy{
+func RunFig7(ctx context.Context, base arch.Config, models []string, opt RunOptions) ([]Fig7Row, error) {
+	rows6, err := runSweep(ctx, base, models, []compiler.Strategy{
 		compiler.StrategyGeneric, compiler.StrategyDP,
 	}, opt)
 	if err != nil {
@@ -155,7 +155,7 @@ func RunFig7(base arch.Config, models []string, opt RunOptions) ([]Fig7Row, erro
 	return rows, nil
 }
 
-func runSweep(base arch.Config, models []string, strategies []compiler.Strategy, opt RunOptions) ([]Fig6Row, error) {
+func runSweep(ctx context.Context, base arch.Config, models []string, strategies []compiler.Strategy, opt RunOptions) ([]Fig6Row, error) {
 	if len(models) == 0 {
 		models = Fig6Models
 	}
@@ -170,7 +170,7 @@ func runSweep(base arch.Config, models []string, strategies []compiler.Strategy,
 	if err != nil {
 		return nil, err
 	}
-	results, err := Run(context.Background(), points, opt)
+	results, err := Run(ctx, points, opt)
 	if err != nil {
 		return nil, err
 	}

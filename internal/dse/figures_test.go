@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"testing"
 
 	"cimflow/internal/arch"
@@ -13,7 +14,7 @@ import (
 func TestFig5RowsParallelInvariant(t *testing.T) {
 	cfg := arch.DefaultConfig()
 	models := []string{"tinycnn", "tinyresnet"}
-	serial, err := RunFig5(cfg, models, RunOptions{Workers: 1})
+	serial, err := RunFig5(context.Background(), cfg, models, RunOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestFig5RowsParallelInvariant(t *testing.T) {
 			t.Errorf("%s generic baseline norms = %v/%v, want 1/1", r.Model, r.NormSpeed, r.NormEnergy)
 		}
 	}
-	parallel, err := RunFig5(cfg, models, RunOptions{Workers: 6})
+	parallel, err := RunFig5(context.Background(), cfg, models, RunOptions{Workers: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestFig6Fig7ShareCache(t *testing.T) {
 	models := []string{"tinycnn"}
 	cache := NewCompileCache()
 	opt := RunOptions{Workers: 4, Cache: cache}
-	rows6, err := RunFig6(cfg, models, opt)
+	rows6, err := RunFig6(context.Background(), cfg, models, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig6Fig7ShareCache(t *testing.T) {
 	if after6 != wantPoints {
 		t.Errorf("fig6 compiled %d artifacts, want %d", after6, wantPoints)
 	}
-	rows7, err := RunFig7(cfg, models, opt)
+	rows7, err := RunFig7(context.Background(), cfg, models, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

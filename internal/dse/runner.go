@@ -108,7 +108,7 @@ func Run(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, er
 				results[i] = PointResult{Point: p, Err: err}
 				continue
 			}
-			emit(i, runPoint(p, cache, opt))
+			emit(i, runPoint(ctx, p, cache, opt))
 		}
 		return results, ctx.Err()
 	}
@@ -125,7 +125,7 @@ func Run(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, er
 				if err := ctx.Err(); err != nil {
 					r = PointResult{Point: points[i], Err: err}
 				} else {
-					r = runPoint(points[i], cache, opt)
+					r = runPoint(ctx, points[i], cache, opt)
 				}
 				emitMu.Lock()
 				emit(i, r)
@@ -154,8 +154,9 @@ func checkpointKey(p *Point, opt RunOptions) string {
 }
 
 // runPoint compiles (through the cache) and simulates one point, or
-// restores it from the checkpoint.
-func runPoint(p Point, cache *CompileCache, opt RunOptions) PointResult {
+// restores it from the checkpoint. Cancelling ctx aborts the simulation
+// mid-run, not just between points.
+func runPoint(ctx context.Context, p Point, cache *CompileCache, opt RunOptions) PointResult {
 	if opt.Checkpoint != nil {
 		if saved, ok := opt.Checkpoint.Lookup(checkpointKey(&p, opt)); ok {
 			r := PointResult{Point: p, Metrics: saved.Metrics, Cached: true}
@@ -175,7 +176,7 @@ func runPoint(p Point, cache *CompileCache, opt RunOptions) PointResult {
 	}
 	ws := model.NewSeededWeights(g, p.Seed)
 	input := model.SeededInput(g.Nodes[0].OutShape, p.Seed+1)
-	res, err := core.Simulate(compiled, ws, input, core.Options{
+	res, err := core.Simulate(ctx, compiled, ws, input, core.Options{
 		Strategy:   p.Strategy,
 		Seed:       p.Seed,
 		CycleLimit: opt.CycleLimit,

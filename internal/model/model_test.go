@@ -7,6 +7,37 @@ import (
 	"cimflow/internal/tensor"
 )
 
+// TestNameIdx is a regression test for the indexed layer-name builder,
+// which used to synthesize digits by rune arithmetic and emitted garbage
+// ("layer_<3" style) for indices >= 100.
+func TestNameIdx(t *testing.T) {
+	for _, tc := range []struct {
+		prefix string
+		i      int
+		want   string
+	}{
+		{"layer", 0, "layer_00"},
+		{"block", 7, "block_07"},
+		{"conv", 16, "conv_16"},
+		{"mbconv", 99, "mbconv_99"},
+		{"block", 100, "block_100"},
+		{"block", 123, "block_123"},
+	} {
+		if got := nameIdx(tc.prefix, tc.i); got != tc.want {
+			t.Errorf("nameIdx(%q, %d) = %q, want %q", tc.prefix, tc.i, got, tc.want)
+		}
+	}
+	// Names must stay unique across a wide index range.
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		n := nameIdx("x", i)
+		if seen[n] {
+			t.Fatalf("nameIdx collision at %d: %q", i, n)
+		}
+		seen[n] = true
+	}
+}
+
 func TestZooModelsValidate(t *testing.T) {
 	for _, name := range ZooNames() {
 		g := Zoo(name)

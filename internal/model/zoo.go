@@ -1,5 +1,7 @@
 package model
 
+import "fmt"
+
 // The model zoo builds the paper's four benchmark networks with their
 // original layer shapes (quantized to INT8, biases and batch-norm folded),
 // plus small synthetic networks used by tests and examples. Parameter
@@ -253,8 +255,10 @@ func ZooNames() []string {
 		"tinycnn", "tinymlp", "tinyresnet", "tinymobile", "tinyse"}
 }
 
+// nameIdx builds a zero-padded indexed layer name ("block_07"). Indices
+// past 99 widen naturally instead of producing out-of-range runes.
 func nameIdx(prefix string, i int) string {
-	return prefix + "_" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+	return fmt.Sprintf("%s_%02d", prefix, i)
 }
 
 func max(a, b int) int {

@@ -56,6 +56,19 @@ func New(cfg *arch.Config) *Mesh {
 	}
 }
 
+// Reset clears all link reservations, the memory-port schedule and the
+// traffic accounting, returning the mesh to its freshly-built state. The
+// simulator's chip pool calls it between inferences so a reused chip sees
+// an idle network.
+func (m *Mesh) Reset() {
+	clear(m.linkFree)
+	m.memPortFree = 0
+	m.TotalBytes = 0
+	m.TotalByteHops = 0
+	m.TotalEnergyPJ = 0
+	m.MemBytes = 0
+}
+
 // coord converts a core id to mesh coordinates.
 func (m *Mesh) coord(core int) (row, col int) { return core / m.cols, core % m.cols }
 

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// longLoop returns a single-core program that spins through ~10M scalar
+// instructions before halting — long enough that a test can cancel it
+// mid-simulation.
+func longLoop(t *testing.T) Program {
+	t.Helper()
+	code := asm(t, `
+		SC_ADDI G1, G0, 500
+	outer:	SC_ADDI G2, G0, 500
+	inner:	SC_ADDI G3, G0, 20
+	in2:	SC_ADDI G3, G3, -1
+		BNE G3, G0, %in2
+		SC_ADDI G2, G2, -1
+		BNE G2, G0, %inner
+		SC_ADDI G1, G1, -1
+		BNE G1, G0, %outer
+		HALT
+	`)
+	return Program{Core: 0, Code: code}
+}
+
+// TestRunHonorsCancelledContext: an already-cancelled context must abort
+// before any instruction executes.
+func TestRunHonorsCancelledContext(t *testing.T) {
+	cfg := testConfig()
+	ch, err := NewChip(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.LoadProgram(longLoop(t)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ch.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCancelsMidSimulation: cancelling while the cycle loop is running
+// must abort the simulation promptly with an error wrapping ctx.Err().
+func TestRunCancelsMidSimulation(t *testing.T) {
+	cfg := testConfig()
+	ch, err := NewChip(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.LoadProgram(longLoop(t)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err = ch.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+}
+
+// TestChipResetReuse: Reset must restore a run chip to a state that
+// reproduces a fresh chip's simulation exactly.
+func TestChipResetReuse(t *testing.T) {
+	code := asm(t, `
+		SC_ADDI G1, G0, 10
+		SC_ADDI G5, G0, 0
+	loop:	SC_ADD G5, G5, G1
+		SC_ADDI G1, G1, -1
+		BNE G1, G0, %loop
+		SC_ADDI G2, G0, 100
+		SC_ST G5, G2, 0
+		HALT
+	`)
+	cfg := testConfig()
+	ch, err := NewChip(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.LoadProgram(Program{Core: 0, Code: code}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := ch.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Reset()
+	second, err := ch.Run(context.Background())
+	if err != nil {
+		t.Fatalf("rerun after Reset: %v", err)
+	}
+	if first.Cycles != second.Cycles || first.Instructions != second.Instructions {
+		t.Errorf("reset run diverged: %d/%d cycles, %d/%d instructions",
+			first.Cycles, second.Cycles, first.Instructions, second.Instructions)
+	}
+	if first.Energy.TotalPJ() != second.Energy.TotalPJ() {
+		t.Errorf("reset run energy diverged: %v != %v",
+			first.Energy.TotalPJ(), second.Energy.TotalPJ())
+	}
+	mem, err := ch.ReadLocal(0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem[0] != 55 {
+		t.Errorf("reused chip result = %d, want 55", mem[0])
+	}
+}
+
+// TestZeroGlobal bounds-checks and clears a global-memory region.
+func TestZeroGlobal(t *testing.T) {
+	cfg := testConfig()
+	ch, err := NewChip(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.InitGlobal(GlobalSegment{Addr: 8, Data: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.ZeroGlobal(8, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ch.ReadGlobal(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Errorf("byte %d = %d after ZeroGlobal", i, b)
+		}
+	}
+	if err := ch.ZeroGlobal(-1, 4); err == nil {
+		t.Error("ZeroGlobal accepted a negative address")
+	}
+	if err := ch.ZeroGlobal(0, cfg.Chip.GlobalMemBytes+1); err == nil {
+		t.Error("ZeroGlobal accepted an oversized range")
+	}
+}

@@ -89,14 +89,39 @@ func newCore(id int, chip *Chip) *core {
 	for i := range c.mg {
 		c.mg[i] = make([]int8, cfg.Unit.MacroRows*groupChans)
 	}
-	c.sregs[isa.SRegCoreID] = int32(id)
+	c.reset()
+	return c
+}
+
+// reset restores the core to its power-on state (the state newCore leaves
+// it in), keeping the loaded program and the allocated buffers.
+func (c *core) reset() {
+	c.pc = 0
+	c.regs = [isa.NumGRegs]int32{}
+	c.sregs = [isa.NumSRegs]int32{}
+	clear(c.local)
+	for _, m := range c.mg {
+		clear(m)
+	}
+	clear(c.cimAcc)
+	clear(c.gather)
+	c.time = 0
+	c.regReady = [isa.NumGRegs]int64{}
+	c.unitFree = [5]int64{}
+	c.pending = [5]outstanding{}
+	c.halted = false
+	c.blocked = false
+	c.inBarrier = false
+	c.barrierID = 0
+	c.blockSrc = 0
+	c.blockTag = 0
+	c.sregs[isa.SRegCoreID] = int32(c.id)
 	c.sregs[isa.SRegSegCount] = 1
 	c.sregs[isa.SRegVecStrideA] = 1
 	c.sregs[isa.SRegVecStrideB] = 1
 	c.sregs[isa.SRegVecStrideD] = 1
 	c.sregs[isa.SRegRowTiles] = 1
-	c.stats.CoreID = id
-	return c
+	c.stats = CoreStats{CoreID: c.id}
 }
 
 func (c *core) errf(format string, args ...any) error {

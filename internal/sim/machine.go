@@ -13,6 +13,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"cimflow/internal/arch"
@@ -121,6 +122,37 @@ func (ch *Chip) InitGlobal(seg GlobalSegment) error {
 	return nil
 }
 
+// ZeroGlobal clears a region of global memory. Sessions use it between
+// pooled runs to wipe the input and activation scratch regions while the
+// staged weights stay resident.
+func (ch *Chip) ZeroGlobal(addr, size int) error {
+	if addr < 0 || size < 0 || addr+size > len(ch.global) {
+		return fmt.Errorf("sim: global zero [%d, %d) out of bounds", addr, addr+size)
+	}
+	clear(ch.global[addr : addr+size])
+	return nil
+}
+
+// Reset returns the chip to its pre-run state while preserving the loaded
+// programs and the contents of global memory: core pipelines, registers,
+// local memories, macro-group weights, accumulators, mailboxes, barrier
+// bookkeeping and NoC reservations are all cleared. Weights staged in
+// global memory survive, which is what lets a pooled chip serve many
+// inferences after a single weight load; callers refresh the input and
+// activation regions (ZeroGlobal + InitGlobal) before the next Run.
+func (ch *Chip) Reset() {
+	clear(ch.mailbox)
+	ch.ready = ch.ready[:0]
+	ch.barrierWait = ch.barrierWait[:0]
+	ch.barrierMax = 0
+	ch.barrierID = 0
+	ch.barrierArmed = false
+	ch.mesh.Reset()
+	for _, c := range ch.cores {
+		c.reset()
+	}
+}
+
 // ReadGlobal copies a region of global memory after execution.
 func (ch *Chip) ReadGlobal(addr, size int) ([]byte, error) {
 	if addr < 0 || addr+size > len(ch.global) {
@@ -195,8 +227,19 @@ func (h *coreHeap) Pop() any      { old := *h; n := len(old); c := old[n-1]; *h 
 func (h *coreHeap) push(c *core)  { heap.Push(h, c) }
 func (h *coreHeap) popMin() *core { return heap.Pop(h).(*core) }
 
+// ctxCheckSteps is how many scheduler steps pass between context polls in
+// Run. Each step executes at most one instruction, so at simulator speeds
+// of millions of steps per second a cancelled context aborts the run
+// within milliseconds while the poll stays off the hot path.
+const ctxCheckSteps = 1 << 13
+
 // Run executes all loaded programs to completion and returns the report.
-func (ch *Chip) Run() (*Stats, error) {
+// The context is checked every ctxCheckSteps scheduler steps: cancelling it
+// aborts a long simulation mid-flight with an error wrapping ctx.Err().
+func (ch *Chip) Run(ctx context.Context) (*Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	limit := ch.CycleLimit
 	if limit == 0 {
 		limit = 200_000_000_000
@@ -215,7 +258,15 @@ func (ch *Chip) Run() (*Stats, error) {
 		return nil, fmt.Errorf("sim: no programs loaded")
 	}
 
+	var steps uint64
 	for len(ch.ready) > 0 {
+		steps++
+		if steps%ctxCheckSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				c := ch.ready[0]
+				return nil, fmt.Errorf("sim: aborted at cycle %d: %w", c.time, err)
+			}
+		}
 		c := ch.ready.popMin()
 		if c.time > limit {
 			return nil, fmt.Errorf("sim: core %d exceeded the cycle limit %d at pc %d", c.id, limit, c.pc)

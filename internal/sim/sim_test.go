@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func runOn(t *testing.T, cfg arch.Config, progs ...Program) (*Chip, *Stats) {
 			t.Fatal(err)
 		}
 	}
-	stats, err := ch.Run()
+	stats, err := ch.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestGlobalMemoryAccess(t *testing.T) {
 	if err := ch.LoadProgram(Program{Core: 0, Code: code}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := ch.ReadGlobal(64, 4)
@@ -176,7 +177,7 @@ func TestVectorOps(t *testing.T) {
 		ch.cores[0].local[i] = byte(a[i])
 		ch.cores[0].local[16+i] = byte(b[i])
 	}
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	check := func(addr int, want []int8, label string) {
@@ -215,7 +216,7 @@ func TestVectorQuantAndReduction(t *testing.T) {
 	for i, v := range []int32{100, -100, 8, 515} {
 		binary.LittleEndian.PutUint32(ch.cores[0].local[i*4:], uint32(v))
 	}
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mem, _ := ch.ReadLocal(0, 64, 4)
@@ -248,7 +249,7 @@ func TestVectorStrides(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		ch.cores[0].local[i] = byte(i + 1)
 	}
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mem, _ := ch.ReadLocal(0, 32, 4)
@@ -287,7 +288,7 @@ func TestCimMVMSingleGroup(t *testing.T) {
 	for i, v := range []int8{1, 2, 3, 4} {
 		ch.cores[0].local[64+i] = byte(v)
 	}
-	_, err := ch.Run()
+	_, err := ch.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestCimMVMAccumulateAcrossGroups(t *testing.T) {
 	prog = append(prog, isa.CimMVM(4, 2, 3, isa.MVMFlags(1, isa.MVMFlagAccumulate|isa.MVMFlagWriteback)))
 	prog = append(prog, isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mem, _ := ch.ReadLocal(0, total+64, 1)
@@ -358,7 +359,7 @@ func TestCimMVMGatherSegments(t *testing.T) {
 	prog = append(prog, isa.CimMVM(1, 2, 3, isa.MVMFlagWriteback))
 	prog = append(prog, isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mem, _ := ch.ReadLocal(0, 200, 1)
@@ -386,7 +387,7 @@ func TestCimMVMRawWriteback(t *testing.T) {
 	prog = append(prog, isa.CimMVM(1, 2, 3, isa.MVMFlagWriteRaw))
 	prog = append(prog, isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mem, _ := ch.ReadLocal(0, 64, 8)
@@ -423,7 +424,7 @@ func TestSendRecv(t *testing.T) {
 	}
 	ch.LoadProgram(Program{Core: 0, Code: sender})
 	ch.LoadProgram(Program{Core: 1, Code: receiver})
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mem, _ := ch.ReadLocal(1, 64, 8)
@@ -458,7 +459,7 @@ func TestRecvBeforeSend(t *testing.T) {
 	ch.cores[0].local[0] = 77
 	ch.LoadProgram(Program{Core: 0, Code: sender})
 	ch.LoadProgram(Program{Core: 1, Code: receiver})
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mem, _ := ch.ReadLocal(1, 0, 1)
@@ -486,7 +487,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 	for i := 1; i < 4; i++ {
 		ch.LoadProgram(Program{Core: i, Code: fast})
 	}
-	stats, err := ch.Run()
+	stats, err := ch.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,7 +512,7 @@ func TestDeadlockDetected(t *testing.T) {
 	ch, _ := NewChip(&cfg)
 	ch.LoadProgram(Program{Core: 0, Code: hang})
 	ch.LoadProgram(Program{Core: 1, Code: halt})
-	_, err := ch.Run()
+	_, err := ch.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Errorf("Run = %v, want deadlock error", err)
 	}
@@ -535,7 +536,7 @@ func TestRuntimeErrors(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			ch, _ := NewChip(&cfg)
 			ch.LoadProgram(Program{Core: 0, Code: asm(t, tc.src)})
-			_, err := ch.Run()
+			_, err := ch.Run(context.Background())
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("Run = %v, want %q", err, tc.want)
 			}
@@ -548,7 +549,7 @@ func TestCycleLimit(t *testing.T) {
 	ch, _ := NewChip(&cfg)
 	ch.CycleLimit = 1000
 	ch.LoadProgram(Program{Core: 0, Code: asm(t, "spin: JMP %spin")})
-	if _, err := ch.Run(); err == nil || !strings.Contains(err.Error(), "cycle limit") {
+	if _, err := ch.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "cycle limit") {
 		t.Errorf("Run = %v, want cycle limit error", err)
 	}
 }
@@ -579,7 +580,7 @@ func TestDeterminism(t *testing.T) {
 			prog = append(prog, isa.Halt())
 			ch.LoadProgram(Program{Core: core, Code: prog})
 		}
-		stats, err := ch.Run()
+		stats, err := ch.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"testing"
@@ -23,7 +24,7 @@ func vecCase(t *testing.T, setup func(c *core), fn uint8, rdDst, rsA, rtB, reLen
 	prog := append([]isa.Instruction{}, pre...)
 	prog = append(prog, isa.Vec(fn, rdDst, rsA, rtB, reLen), isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return ch
@@ -50,7 +51,7 @@ func TestVectorMulMinMov(t *testing.T) {
 	prog = append(prog, isa.Vec(isa.VFnMin8, 3, 1, 2, 4))
 	prog = append(prog, isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mul, _ := ch.ReadLocal(0, 32, 4)
@@ -87,7 +88,7 @@ func TestVectorQAddMatchesTensor(t *testing.T) {
 	prog = append(prog, isa.LI(4, 4)...)
 	prog = append(prog, isa.Vec(isa.VFnQAdd8, 3, 1, 2, 4), isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := ch.ReadLocal(0, 32, 4)
@@ -118,7 +119,7 @@ func TestVectorQMulMatchesTensor(t *testing.T) {
 	prog = append(prog, isa.LI(4, 3)...)
 	prog = append(prog, isa.Vec(isa.VFnQMul8, 3, 1, 2, 4), isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := ch.ReadLocal(0, 32, 3)
@@ -153,7 +154,7 @@ func TestVectorMacAndAcc(t *testing.T) {
 		isa.Vec(isa.VFnAcc8, 3, 1, 0, 4), // d32 += a
 		isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := ch.ReadLocal(0, 32, 8)
@@ -183,7 +184,7 @@ func TestVectorAdd32AndRSum32(t *testing.T) {
 	prog = append(prog, isa.LI(5, 96)...)
 	prog = append(prog, isa.Vec(isa.VFnRSum32, 5, 3, 0, 4), isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	sum, _ := ch.ReadLocal(0, 96, 4)
@@ -205,7 +206,7 @@ func TestVectorRMax(t *testing.T) {
 	prog = append(prog, isa.LI(4, 4)...)
 	prog = append(prog, isa.Vec(isa.VFnRMax8, 3, 1, 0, 4), isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := ch.ReadLocal(0, 32, 1)
@@ -233,7 +234,7 @@ func TestVectorSigmoidSiluMatchTensor(t *testing.T) {
 	prog = append(prog, isa.LI(3, 48)...)
 	prog = append(prog, isa.Vec(isa.VFnSilu8, 3, 1, 0, 4), isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	sig, _ := ch.ReadLocal(0, 32, len(vals))
@@ -255,7 +256,7 @@ func TestVectorNegativeLengthRejected(t *testing.T) {
 	prog = append(prog, isa.LI(4, -5)...)
 	prog = append(prog, isa.Vec(isa.VFnRelu8, 1, 1, 0, 4), isa.Halt())
 	ch.cores[0].code = prog
-	if _, err := ch.Run(); err == nil {
+	if _, err := ch.Run(context.Background()); err == nil {
 		t.Error("negative vector length accepted")
 	}
 }
@@ -274,7 +275,7 @@ func TestCimLoadOffsets(t *testing.T) {
 	prog = append(prog, isa.LI(4, 1)...) // chans
 	prog = append(prog, isa.CimLoad(2, 1, 3, 4), isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err != nil {
+	if _, err := ch.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	gc := cfg.GroupChannels()
@@ -293,7 +294,7 @@ func TestCimLoadBoundsRejected(t *testing.T) {
 	prog = append(prog, isa.LI(4, 1)...)
 	prog = append(prog, isa.CimLoad(0, 0, 3, 4), isa.Halt())
 	c.code = prog
-	if _, err := ch.Run(); err == nil {
+	if _, err := ch.Run(context.Background()); err == nil {
 		t.Error("out-of-bounds CIM_LOAD accepted")
 	}
 }
