@@ -20,6 +20,11 @@
 // programmatically or loaded from JSON, compiled programs can be inspected
 // as CIMFlow ISA assembly, and the experiment runners regenerate the
 // paper's evaluation figures.
+//
+// Above the Engine sit two multiplexing layers: the DSE sweep engine
+// (SweepSpec/Sweep/ParetoFront) for design-space exploration, and Server
+// (NewServer/ServeModel/Infer) for multi-model inference serving with
+// dynamic batching, deadline-aware admission control and load shedding.
 package cimflow
 
 import (

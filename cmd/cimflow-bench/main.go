@@ -5,6 +5,8 @@
 //	cimflow-bench -fig 7             # SW/HW co-design space (Fig. 7)
 //	cimflow-bench -fig all -j 8      # everything, 8 sweep workers
 //	cimflow-bench -fig all -csv out/ # everything, also as CSV files
+//	cimflow-bench -format json       # NDJSON rows (one object per row)
+//	                                 # for dashboards; timing goes to stderr
 //
 // Figures run on the DSE engine's worker pool (-j controls parallelism;
 // rows are deterministic at any setting) and share one compile cache, so
@@ -31,7 +33,14 @@ func main() {
 	models := flag.String("models", "", "comma-separated model subset (default: the figure's models)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	workers := flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	format := flag.String("format", "table", "stdout format: table | csv | json (one JSON object per row)")
 	flag.Parse()
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "cimflow-bench: unknown -format %q (want table, csv or json)\n", *format)
+		os.Exit(2)
+	}
 
 	// Ctrl-C aborts the current simulations mid-run instead of hanging
 	// until the sweep finishes.
@@ -71,8 +80,24 @@ func main() {
 		if err != nil {
 			fail(name+":", err)
 		}
-		t.Write(os.Stdout)
-		fmt.Printf("(%s regenerated in %v; %d compiles, %d cache hits)\n\n",
+		// Machine-readable formats keep stdout clean: rows only, timing on
+		// stderr, so pipelines can consume the stream directly.
+		switch *format {
+		case "csv":
+			err = t.WriteCSV(os.Stdout)
+		case "json":
+			err = t.WriteJSON(os.Stdout)
+		default:
+			err = t.Write(os.Stdout)
+		}
+		if err != nil {
+			fail(name+":", err)
+		}
+		timing := os.Stdout
+		if *format != "table" {
+			timing = os.Stderr
+		}
+		fmt.Fprintf(timing, "(%s regenerated in %v; %d compiles, %d cache hits)\n\n",
 			name, time.Since(start).Round(time.Millisecond),
 			cache.CompileCalls()-compiles, cache.Hits()-hits)
 		if *csvDir != "" {

@@ -1,0 +1,368 @@
+// Command cimflow-serve fronts a cimflow.Server with an HTTP JSON API, or
+// drives it with a built-in open-loop load generator:
+//
+//	cimflow-serve -models tinyresnet,tinymlp -addr :8080
+//	cimflow-serve -loadgen -models tinymlp -rps 100 -duration 10s -workers 4
+//
+// HTTP API:
+//
+//	POST /v1/models/{name}/infer   run one inference ({"seed": 7} or
+//	                               {"data": [...], "shape": [h,w,c]})
+//	GET  /v1/models                served models and their limits
+//	GET  /healthz                  liveness
+//	GET  /metrics                  queue depth, batch-size histogram,
+//	                               p50/p95/p99 latency, cache/pool counters
+//
+// The load generator fires requests at a fixed arrival rate regardless of
+// completions (open loop), so queueing and shedding behave like production
+// traffic rather than a closed benchmark loop; it verifies served outputs
+// byte-for-byte against direct Session.Infer and prints the batch-size
+// histogram and latency quantiles that demonstrate dynamic batching.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cimflow"
+	"cimflow/internal/compiler"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		models   = flag.String("models", "tinyresnet", "comma-separated models to serve")
+		archPath = flag.String("arch", "", "architecture JSON (default: paper Table I)")
+		strategy = flag.String("strategy", "dp", "compilation strategy: generic | duplication | dp")
+		seed     = flag.Uint64("seed", 1, "synthetic-weight seed")
+		workers  = flag.Int("workers", 4, "dispatch worker-pool size (unit of chip parallelism)")
+		maxBatch = flag.Int("max-batch", 8, "dynamic batcher: max requests per dispatch")
+		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "dynamic batcher: max wait to fill a batch")
+		queue    = flag.Int("queue", 64, "per-model admission queue depth")
+		pool     = flag.Int("pool", 0, "pooled chips per session (0 = GOMAXPROCS)")
+
+		loadgen  = flag.Bool("loadgen", false, "run the open-loop load generator instead of listening")
+		rps      = flag.Int("rps", 50, "loadgen: offered arrival rate, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "loadgen: how long to offer load")
+		timeout  = flag.Duration("timeout", 5*time.Second, "loadgen: per-request deadline")
+		check    = flag.Int("check", 16, "loadgen: verify this many distinct inputs byte-for-byte against Session.Infer")
+	)
+	flag.Parse()
+
+	cfg := cimflow.DefaultConfig()
+	if *archPath != "" {
+		var err error
+		if cfg, err = cimflow.LoadConfig(*archPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	strat, err := compiler.ParseStrategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := cimflow.NewEngine(cfg,
+		cimflow.WithStrategy(strat),
+		cimflow.WithSeed(*seed),
+		cimflow.WithMaxPooledChips(*pool))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+	srv := cimflow.NewServer(engine,
+		cimflow.WithWorkers(*workers),
+		cimflow.WithMaxBatch(*maxBatch),
+		cimflow.WithMaxDelay(*maxDelay),
+		cimflow.WithQueueDepth(*queue))
+	names := strings.Split(*models, ",")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		start := time.Now()
+		if err := srv.ServeModel(name); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s (compiled and staged in %v)", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *loadgen {
+		if err := runLoadgen(engine, srv, names[0], *rps, *duration, *timeout, *check); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: newHandler(srv)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Shutdown does the draining; main must wait for it to finish, or the
+	// process exits while in-flight responses are still being written.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Print("draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	log.Printf("listening on %s (workers=%d max-batch=%d max-delay=%v queue=%d)",
+		*addr, *workers, *maxBatch, *maxDelay, *queue)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// --- HTTP front end ---
+
+// inferRequest is the POST body: either a deterministic seeded input or
+// raw INT8 data with an explicit [h, w, c] shape.
+type inferRequest struct {
+	Seed  *uint64 `json:"seed,omitempty"`
+	Data  []int8  `json:"data,omitempty"`
+	Shape []int   `json:"shape,omitempty"`
+}
+
+type inferResponse struct {
+	Model     string  `json:"model"`
+	Shape     []int   `json:"shape"`
+	Output    []int8  `json:"output"`
+	Cycles    int64   `json:"cycles"`
+	Seconds   float64 `json:"seconds"`
+	EnergyMJ  float64 `json:"energy_mj"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+type modelInfo struct {
+	Name       string `json:"name"`
+	InputShape []int  `json:"input_shape"`
+}
+
+func newHandler(srv *cimflow.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": len(srv.Models())})
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		var out []modelInfo
+		for _, name := range srv.Models() {
+			shape, err := srv.InputShape(name)
+			if err != nil {
+				continue
+			}
+			out = append(out, modelInfo{Name: name, InputShape: []int{shape.H, shape.W, shape.C}})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Metrics())
+	})
+	mux.HandleFunc("POST /v1/models/{name}/infer", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		var req inferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		input, err := buildInput(srv, name, &req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		start := time.Now()
+		res, err := srv.Infer(r.Context(), name, input)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, inferResponse{
+			Model:     name,
+			Shape:     []int{res.Output.H, res.Output.W, res.Output.C},
+			Output:    res.Output.Data,
+			Cycles:    res.Stats.Cycles,
+			Seconds:   res.Seconds,
+			EnergyMJ:  res.EnergyMJ,
+			LatencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	})
+	return mux
+}
+
+// buildInput materializes the request's tensor: seeded or raw.
+func buildInput(srv *cimflow.Server, name string, req *inferRequest) (cimflow.Tensor, error) {
+	shape, err := srv.InputShape(name)
+	if err != nil {
+		return cimflow.Tensor{}, err
+	}
+	if req.Seed != nil {
+		return cimflow.SeededInput(shape, *req.Seed), nil
+	}
+	if len(req.Shape) != 3 {
+		return cimflow.Tensor{}, fmt.Errorf("request needs \"seed\" or \"data\" with \"shape\": [h,w,c]")
+	}
+	t := cimflow.Tensor{H: req.Shape[0], W: req.Shape[1], C: req.Shape[2], Data: req.Data}
+	if t.Len() != len(req.Data) {
+		return cimflow.Tensor{}, fmt.Errorf("data has %d elements, shape %dx%dx%d needs %d",
+			len(req.Data), t.H, t.W, t.C, t.Len())
+	}
+	return t, nil
+}
+
+// statusFor maps the serving subsystem's typed errors onto HTTP codes.
+// Unrecognized errors are server-side faults (simulation failures, closed
+// sessions), not client mistakes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, cimflow.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, cimflow.ErrOverloaded),
+		errors.Is(err, cimflow.ErrServerClosed),
+		errors.Is(err, cimflow.ErrSessionClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// --- open-loop load generator ---
+
+func runLoadgen(engine *cimflow.Engine, srv *cimflow.Server, model string,
+	rps int, duration, timeout time.Duration, check int) error {
+	if rps <= 0 {
+		return fmt.Errorf("loadgen: -rps must be positive")
+	}
+	if check < 0 {
+		return fmt.Errorf("loadgen: -check must be non-negative")
+	}
+	shape, err := srv.InputShape(model)
+	if err != nil {
+		return err
+	}
+	// References for the byte-identical check come from the engine's own
+	// session — the same compiled artifact the server dispatches onto.
+	sess, err := engine.SessionFor(model)
+	if err != nil {
+		return err
+	}
+	refs := make([][]int8, check)
+	for i := range refs {
+		res, err := sess.Infer(context.Background(), cimflow.SeededInput(shape, uint64(i)))
+		if err != nil {
+			return fmt.Errorf("loadgen reference %d: %w", i, err)
+		}
+		refs[i] = res.Output.Data
+	}
+
+	fmt.Printf("loadgen: %s, %d req/s offered for %v (deadline %v per request)\n",
+		model, rps, duration, timeout)
+	var (
+		sent, completed, shed, expired, failed, mismatched atomic.Int64
+		wg                                                 sync.WaitGroup
+	)
+	interval := time.Second / time.Duration(rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(duration)
+	start := time.Now()
+	var n uint64
+arrivals:
+	for {
+		select {
+		case <-stop:
+			break arrivals
+		case <-ticker.C:
+			seq := n
+			n++
+			sent.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				seed := seq % uint64(max(check, 1024))
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				defer cancel()
+				res, err := srv.Infer(ctx, model, cimflow.SeededInput(shape, seed))
+				switch {
+				case err == nil:
+					completed.Add(1)
+					if int(seed) < check && !bytes.Equal(int8AsBytes(res.Output.Data), int8AsBytes(refs[seed])) {
+						mismatched.Add(1)
+					}
+				case errors.Is(err, cimflow.ErrOverloaded):
+					shed.Add(1)
+				case errors.Is(err, context.DeadlineExceeded):
+					expired.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := srv.Close(); err != nil {
+		return err
+	}
+
+	m := srv.Metrics()
+	mm := m.Models[model]
+	fmt.Printf("\nsent %d: %d completed, %d shed, %d deadline-expired, %d failed\n",
+		sent.Load(), completed.Load(), shed.Load(), expired.Load(), failed.Load())
+	fmt.Printf("throughput: %.1f inf/s wall-clock over %v (workers=%d)\n",
+		float64(completed.Load())/elapsed.Seconds(), elapsed.Round(time.Millisecond), m.Workers)
+	fmt.Printf("latency: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms (%d samples)\n",
+		mm.P50Ms, mm.P95Ms, mm.P99Ms, mm.LatencySamples)
+	fmt.Printf("batch-size histogram (%d dispatches):\n", mm.Batches)
+	for size := 1; size <= mm.MaxBatch; size++ {
+		if count, ok := mm.BatchHist[size]; ok {
+			fmt.Printf("  %2d: %s %d\n", size, strings.Repeat("#", int(min(count, 60))), count)
+		}
+	}
+	fmt.Printf("compilations: %d (cache hits %d), pooled chips: %d\n",
+		m.CompileCalls, m.CacheHits, m.PooledChips)
+	if check > 0 {
+		if mismatched.Load() != 0 {
+			return fmt.Errorf("loadgen: %d served outputs differ from direct Session.Infer", mismatched.Load())
+		}
+		fmt.Printf("verified: served outputs byte-identical to Session.Infer on %d reference inputs\n", check)
+	}
+	return nil
+}
+
+func int8AsBytes(v []int8) []byte {
+	out := make([]byte, len(v))
+	for i, b := range v {
+		out[i] = byte(b)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package cimflow
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -10,6 +11,17 @@ import (
 	"cimflow/internal/core"
 	"cimflow/internal/dse"
 	"cimflow/internal/model"
+)
+
+// Lifecycle errors, matched with errors.Is.
+var (
+	// ErrSessionClosed is returned by Session methods after Session.Close
+	// (or Engine.Close): the pooled chips are released and the session
+	// accepts no further work.
+	ErrSessionClosed = core.ErrClosed
+	// ErrEngineClosed is returned by Engine.Session/SessionFor after
+	// Engine.Close.
+	ErrEngineClosed = errors.New("cimflow: engine closed")
 )
 
 // Option configures an Engine or a Session built from it. Options replace
@@ -79,15 +91,19 @@ type Engine struct {
 
 	mu       sync.Mutex
 	sessions map[sessionKey]*sessionEntry
+	closed   bool
 }
 
 // sessionEntry is one singleflight Session slot: the first caller stages
 // weights and builds the chip pool, concurrent callers share the result
-// (mirroring the CompileCache pattern one layer up).
+// (mirroring the CompileCache pattern one layer up). ready closes when the
+// build finished, letting Close and PooledChips inspect entries without
+// blocking behind an in-flight build.
 type sessionEntry struct {
-	once sync.Once
-	s    *Session
-	err  error
+	once  sync.Once
+	ready chan struct{}
+	s     *Session
+	err   error
 }
 
 // sessionKey identifies a cached Session: the graph's structural
@@ -135,6 +151,59 @@ func (e *Engine) CompileCalls() int64 { return e.cache.CompileCalls() }
 // CacheHits reports how many compilations were served from the cache.
 func (e *Engine) CacheHits() int64 { return e.cache.Hits() }
 
+// PooledChips sums the idle pre-initialized chips held across all of the
+// engine's live sessions — the engine-level pool introspection a serving
+// layer reports in its metrics.
+func (e *Engine) PooledChips() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for _, entry := range e.sessions {
+		if s := entry.session(); s != nil {
+			total += s.PooledChips()
+		}
+	}
+	return total
+}
+
+// Sessions reports how many distinct (model, options) sessions the engine
+// currently holds.
+func (e *Engine) Sessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+// Close closes every session the engine built — draining and releasing
+// their pooled chips — and marks the engine closed: Session and SessionFor
+// fail with ErrEngineClosed, and in-flight inferences on existing sessions
+// finish before their chips are dropped. Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	for _, entry := range e.sessions {
+		if s := entry.session(); s != nil {
+			s.Close()
+		}
+	}
+	return nil
+}
+
+// session returns the entry's built session without blocking on an
+// in-flight build: nil when the build has not completed (or failed).
+func (en *sessionEntry) session() *Session {
+	select {
+	case <-en.ready:
+		return en.s
+	default:
+		return nil
+	}
+}
+
 // Session returns the compile-once/infer-many handle for a model:
 // repeated calls with a structurally identical graph and the same options
 // return the same Session, so its compiled artifact and chip pool are
@@ -161,32 +230,64 @@ func (e *Engine) Session(g *Graph, opts ...Option) (*Session, error) {
 		maxPooled:  st.MaxPooledChips,
 		cache:      cache,
 	}
-	e.mu.Lock()
-	entry, ok := e.sessions[key]
-	if !ok {
-		entry = &sessionEntry{}
-		e.sessions[key] = entry
-	}
-	e.mu.Unlock()
-	// Build outside the map lock: concurrent first-time callers of one key
-	// await a single compilation and a single weight-staging pass.
-	entry.once.Do(func() {
-		compiled, err := cache.Compile(g, &e.cfg, compiler.Options{
-			Strategy:        st.Strategy,
-			FullBufferLimit: st.FullBufferLimit,
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return nil, ErrEngineClosed
+		}
+		entry, ok := e.sessions[key]
+		if !ok {
+			entry = &sessionEntry{ready: make(chan struct{})}
+			e.sessions[key] = entry
+		}
+		e.mu.Unlock()
+		// Build outside the map lock: concurrent first-time callers of one
+		// key await a single compilation and a single weight-staging pass.
+		entry.once.Do(func() {
+			defer close(entry.ready)
+			compiled, err := cache.Compile(g, &e.cfg, compiler.Options{
+				Strategy:        st.Strategy,
+				FullBufferLimit: st.FullBufferLimit,
+			})
+			if err != nil {
+				entry.err = fmt.Errorf("cimflow: compile %s: %w", g.Name, err)
+				return
+			}
+			inner, err := core.NewSession(compiled, model.NewSeededWeights(g, st.Seed), st.Options)
+			if err != nil {
+				entry.err = err
+				return
+			}
+			entry.s = &Session{inner: inner, graph: g}
 		})
-		if err != nil {
-			entry.err = fmt.Errorf("cimflow: compile %s: %w", g.Name, err)
-			return
+		<-entry.ready
+		// The engine may have closed while this entry was building; its
+		// session missed Engine.Close's sweep, so release it here.
+		e.mu.Lock()
+		closedNow := e.closed
+		e.mu.Unlock()
+		if closedNow {
+			if entry.err == nil {
+				entry.s.inner.Close()
+			}
+			return nil, ErrEngineClosed
 		}
-		inner, err := core.NewSession(compiled, model.NewSeededWeights(g, st.Seed), st.Options)
-		if err != nil {
-			entry.err = err
-			return
+		// A session closed by the caller (not by Engine.Close) is stale:
+		// drop the entry and retry instead of handing out a handle that
+		// only returns ErrSessionClosed. When a concurrent caller already
+		// replaced the entry, retry as well — the next iteration picks up
+		// the fresh one (or ErrEngineClosed if the engine closed meanwhile).
+		if entry.err == nil && entry.s.inner.Closed() {
+			e.mu.Lock()
+			if e.sessions[key] == entry {
+				delete(e.sessions, key)
+			}
+			e.mu.Unlock()
+			continue
 		}
-		entry.s = &Session{inner: inner, graph: g}
-	})
-	return entry.s, entry.err
+		return entry.s, entry.err
+	}
 }
 
 // SessionFor looks a model up by name (see LookupModel) and returns its
@@ -220,6 +321,16 @@ func (s *Session) InputShape() Shape { return s.inner.InputShape() }
 
 // PooledChips reports how many idle pre-initialized chips the session holds.
 func (s *Session) PooledChips() int { return s.inner.PooledChips() }
+
+// Closed reports whether the session has been closed.
+func (s *Session) Closed() bool { return s.inner.Closed() }
+
+// Close drains and releases the session's pooled chips and marks it
+// closed: further Infer/InferBatch/Validate calls fail with
+// ErrSessionClosed. In-flight inferences finish normally; their chips are
+// dropped instead of re-pooled. Close is idempotent, and the engine builds
+// a fresh session on the next request for the same model and options.
+func (s *Session) Close() error { return s.inner.Close() }
 
 // SeededInput returns a deterministic input tensor of the session's input
 // shape — a stand-in for real data in tests and demos.

@@ -1,0 +1,169 @@
+// Loadtest: reproduce throughput/latency curves for the serving subsystem.
+// An open-loop generator offers a fixed arrival rate to a cimflow.Server at
+// several (rps, workers) points and tabulates completion rate, shedding,
+// dynamic-batch sizes and latency quantiles — the serving analogue of the
+// paper's closed-loop evaluation sweeps.
+//
+//	go run ./examples/loadtest [model]
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cimflow"
+	"cimflow/internal/report"
+)
+
+const (
+	duration = 3 * time.Second
+	timeout  = 2 * time.Second
+	maxBatch = 8
+	maxDelay = 5 * time.Millisecond
+	queue    = 64
+)
+
+type point struct {
+	rps     int
+	workers int
+}
+
+type row struct {
+	point
+	sent, completed, shed, expired int64
+	throughput                     float64
+	p50, p95, p99                  float64
+	maxBatchSeen                   int
+}
+
+func main() {
+	model := "tinymlp"
+	if len(os.Args) > 1 {
+		model = os.Args[1]
+	}
+	// One engine across every point: the model compiles once and the
+	// sweep reuses the artifact, exactly like a DSE sweep would.
+	engine, err := cimflow.NewEngine(cimflow.DefaultConfig(),
+		cimflow.WithStrategy(cimflow.StrategyDP), cimflow.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	points := []point{
+		{rps: 50, workers: 1},
+		{rps: 200, workers: 1},
+		{rps: 400, workers: 1},
+		{rps: 400, workers: 4},
+		{rps: 800, workers: 4},
+	}
+	table := report.New(fmt.Sprintf("serving loadtest: %s, open loop, %v per point", model, duration),
+		"rps", "workers", "sent", "done", "shed", "expired", "inf/s", "p50 ms", "p95 ms", "p99 ms", "max batch")
+	var w1, w4 float64
+	for _, p := range points {
+		r, err := run(engine, model, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.Add(r.rps, r.workers, r.sent, r.completed, r.shed, r.expired,
+			r.throughput, r.p50, r.p95, r.p99, r.maxBatchSeen)
+		if r.rps == 400 && r.workers == 1 {
+			w1 = r.throughput
+		}
+		if r.rps == 400 && r.workers == 4 {
+			w4 = r.throughput
+		}
+	}
+	fmt.Println()
+	table.Write(os.Stdout)
+	fmt.Printf("\ncompilations across all %d points: %d (cache hits %d)\n",
+		len(points), engine.CompileCalls(), engine.CacheHits())
+	if w1 > 0 {
+		fmt.Printf("worker scaling at 400 rps: 1 worker %.1f inf/s -> 4 workers %.1f inf/s (%.2fx)\n",
+			w1, w4, w4/w1)
+	}
+}
+
+// run offers p.rps requests/second for the configured duration and
+// collects the point's serving metrics.
+func run(engine *cimflow.Engine, model string, p point) (row, error) {
+	srv := cimflow.NewServer(engine,
+		cimflow.WithWorkers(p.workers),
+		cimflow.WithMaxBatch(maxBatch),
+		cimflow.WithMaxDelay(maxDelay),
+		cimflow.WithQueueDepth(queue))
+	if err := srv.ServeModel(model); err != nil {
+		return row{}, err
+	}
+	shape, err := srv.InputShape(model)
+	if err != nil {
+		return row{}, err
+	}
+
+	var sent, completed, shed, expired atomic.Int64
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(time.Second / time.Duration(p.rps))
+	defer ticker.Stop()
+	stop := time.After(duration)
+	start := time.Now()
+	var n uint64
+arrivals:
+	for {
+		select {
+		case <-stop:
+			break arrivals
+		case <-ticker.C:
+			seed := n % 1024
+			n++
+			sent.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				defer cancel()
+				_, err := srv.Infer(ctx, model, cimflow.SeededInput(shape, seed))
+				switch {
+				case err == nil:
+					completed.Add(1)
+				case errors.Is(err, cimflow.ErrOverloaded):
+					shed.Add(1)
+				case errors.Is(err, context.DeadlineExceeded):
+					expired.Add(1)
+				default:
+					log.Fatalf("rps=%d workers=%d: %v", p.rps, p.workers, err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := srv.Close(); err != nil {
+		return row{}, err
+	}
+	mm := srv.Metrics().Models[model]
+	r := row{
+		point:      p,
+		sent:       sent.Load(),
+		completed:  completed.Load(),
+		shed:       shed.Load(),
+		expired:    expired.Load(),
+		throughput: float64(completed.Load()) / elapsed.Seconds(),
+		p50:        mm.P50Ms,
+		p95:        mm.P95Ms,
+		p99:        mm.P99Ms,
+	}
+	for size := range mm.BatchHist {
+		if size > r.maxBatchSeen {
+			r.maxBatchSeen = size
+		}
+	}
+	fmt.Printf("rps=%-4d workers=%d: %.1f inf/s, p99 %.1f ms, largest batch %d\n",
+		p.rps, p.workers, r.throughput, r.p99, r.maxBatchSeen)
+	return r, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,6 +13,11 @@ import (
 	"cimflow/internal/sim"
 	"cimflow/internal/tensor"
 )
+
+// ErrClosed is returned by every Session method after Close: the pooled
+// chips are released and the session accepts no further work. Callers
+// detect it with errors.Is.
+var ErrClosed = errors.New("core: session closed")
 
 // Session is a compiled model prepared for repeated inference: the
 // pre-tiled weight segments are built once, and simulated chips are pooled
@@ -31,6 +37,9 @@ type Session struct {
 	static   []sim.GlobalSegment
 	scratch  [][2]int
 	free     chan *sim.Chip
+
+	pmu    sync.Mutex // guards closed and pool membership on release
+	closed bool
 }
 
 // NewSession stages a compiled model for inference with the given weights.
@@ -70,6 +79,37 @@ func (s *Session) InputShape() model.Shape { return s.compiled.Graph.Nodes[0].Ou
 // currently holds.
 func (s *Session) PooledChips() int { return len(s.free) }
 
+// PoolCap reports the session's chip-pool capacity: the maximum number of
+// idle chips kept for reuse, and the default fan-out of InferBatch.
+func (s *Session) PoolCap() int { return cap(s.free) }
+
+// Closed reports whether Close has been called.
+func (s *Session) Closed() bool {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.closed
+}
+
+// Close releases every pooled chip and marks the session closed: further
+// Infer/InferBatch/Validate calls fail with ErrClosed. In-flight runs
+// complete normally; their chips are dropped instead of re-pooled. Close is
+// idempotent.
+func (s *Session) Close() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for {
+		select {
+		case <-s.free:
+		default:
+			return nil
+		}
+	}
+}
+
 // newChip builds a fresh chip with programs loaded and weights staged.
 func (s *Session) newChip() (*sim.Chip, error) {
 	ch, err := sim.NewChip(&s.cfg)
@@ -96,6 +136,9 @@ func (s *Session) newChip() (*sim.Chip, error) {
 // acquire returns a ready-to-run chip: a pooled one reset to pristine
 // state, or a freshly built one when the pool is empty.
 func (s *Session) acquire() (*sim.Chip, error) {
+	if s.Closed() {
+		return nil, ErrClosed
+	}
 	select {
 	case ch := <-s.free:
 		ch.Reset()
@@ -110,10 +153,15 @@ func (s *Session) acquire() (*sim.Chip, error) {
 	}
 }
 
-// release returns a chip to the pool, dropping it when the pool is full.
-// Chips that errored or were cancelled mid-run are safe to return: acquire
-// resets all dynamic state before reuse.
+// release returns a chip to the pool, dropping it when the pool is full or
+// the session closed. Chips that errored or were cancelled mid-run are safe
+// to return: acquire resets all dynamic state before reuse.
 func (s *Session) release(ch *sim.Chip) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.closed {
+		return
+	}
 	select {
 	case s.free <- ch:
 	default:
@@ -156,11 +204,24 @@ func (s *Session) Infer(ctx context.Context, input tensor.Tensor) (*Result, erro
 // cancelled and the root-cause error is returned (entries that did not
 // complete stay nil).
 func (s *Session) InferBatch(ctx context.Context, inputs []tensor.Tensor) ([]*Result, error) {
+	return s.InferBatchN(ctx, inputs, cap(s.free))
+}
+
+// InferBatchN is the batch dispatch hook behind InferBatch: it runs one
+// inference per input with at most parallel simulations in flight
+// (parallel <= 0 means the pool capacity). A serving layer dispatching
+// coalesced batches from its own worker pool passes parallel = 1 so total
+// chip parallelism is governed by the number of serving workers, not
+// multiplied by the batch size.
+func (s *Session) InferBatchN(ctx context.Context, inputs []tensor.Tensor, parallel int) ([]*Result, error) {
 	results := make([]*Result, len(inputs))
 	if len(inputs) == 0 {
 		return results, ctx.Err()
 	}
-	workers := cap(s.free)
+	workers := parallel
+	if workers <= 0 {
+		workers = cap(s.free)
+	}
 	if workers > len(inputs) {
 		workers = len(inputs)
 	}

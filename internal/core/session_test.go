@@ -136,6 +136,88 @@ func TestSessionRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestSessionClose: Close drains the pool, further use fails with the
+// typed ErrClosed, chips released after Close are dropped, and Close is
+// idempotent.
+func TestSessionClose(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.TinyMLP()
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(compiled, model.NewSeededWeights(g, 1), Options{MaxPooledChips: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	input := model.SeededInput(g.Nodes[0].OutShape, 2)
+	if _, err := s.Infer(ctx, input); err != nil {
+		t.Fatal(err)
+	}
+	if s.PooledChips() == 0 {
+		t.Fatal("no chip pooled after a successful Infer")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.PooledChips(); n != 0 {
+		t.Errorf("PooledChips() = %d after Close, want 0", n)
+	}
+	if !s.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	if _, err := s.Infer(ctx, input); !errors.Is(err, ErrClosed) {
+		t.Errorf("Infer after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.InferBatch(ctx, []tensor.Tensor{input}); !errors.Is(err, ErrClosed) {
+		t.Errorf("InferBatch after Close = %v, want ErrClosed", err)
+	}
+	// A chip finishing its run after Close must be dropped, not re-pooled.
+	s.release(nil)
+	if n := s.PooledChips(); n != 0 {
+		t.Errorf("release after Close re-pooled a chip: PooledChips() = %d", n)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+// TestSessionInferBatchN: explicit parallelism caps produce the same
+// results as the default pool-wide fan-out, byte for byte.
+func TestSessionInferBatchN(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.TinyMLP()
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(compiled, model.NewSeededWeights(g, 3), Options{MaxPooledChips: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var inputs []tensor.Tensor
+	for seed := uint64(20); seed < 25; seed++ {
+		inputs = append(inputs, model.SeededInput(g.Nodes[0].OutShape, seed))
+	}
+	ref, err := s.InferBatch(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 2, 3, 0} {
+		got, err := s.InferBatchN(ctx, inputs, parallel)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i := range inputs {
+			if !bytes.Equal(int8Bytes(got[i].Output), int8Bytes(ref[i].Output)) {
+				t.Errorf("parallel=%d: result %d differs from default fan-out", parallel, i)
+			}
+		}
+	}
+}
+
 func int8Bytes(t tensor.Tensor) []byte {
 	out := make([]byte, len(t.Data))
 	for i, v := range t.Data {

@@ -4,8 +4,11 @@
 package report
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -86,30 +89,63 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// WriteCSV renders the table as CSV.
+// WriteCSV renders the table as RFC 4180 CSV via encoding/csv, so cells
+// containing commas, quotes, carriage returns or newlines round-trip
+// through any conforming reader.
 func (t *Table) WriteCSV(w io.Writer) error {
-	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
-			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
 		}
-		return s
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the table as newline-delimited JSON: one object per
+// row, keyed by column header in column order. Cells that are valid JSON
+// numbers are emitted as numbers so dashboards consume them without
+// casting; everything else is a JSON string.
+func (t *Table) WriteJSON(w io.Writer) error {
+	keys := make([][]byte, len(t.Headers))
+	for i, h := range t.Headers {
+		key, err := json.Marshal(h)
+		if err != nil {
+			return err
+		}
+		keys[i] = key
 	}
 	var b strings.Builder
-	for i, h := range t.Headers {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(esc(h))
-	}
-	b.WriteByte('\n')
 	for _, r := range t.Rows {
-		for i, c := range r {
+		b.WriteByte('{')
+		for i := range t.Headers {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			b.WriteString(esc(c))
+			b.Write(keys[i])
+			b.WriteByte(':')
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			// json.Valid guarantees JSON-number syntax (it rejects NaN,
+			// Inf, hex floats); ParseFloat rules out non-numeric tokens
+			// json would accept, like true or null.
+			if _, err := strconv.ParseFloat(cell, 64); err == nil && json.Valid([]byte(cell)) {
+				b.WriteString(cell)
+			} else {
+				val, err := json.Marshal(cell)
+				if err != nil {
+					return err
+				}
+				b.Write(val)
+			}
 		}
-		b.WriteByte('\n')
+		b.WriteString("}\n")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

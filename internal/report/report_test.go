@@ -1,6 +1,9 @@
 package report
 
 import (
+	"encoding/csv"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -48,5 +51,78 @@ func TestCSVEscaping(t *testing.T) {
 	}
 	if !strings.HasPrefix(out, "a,b\n") {
 		t.Errorf("header missing: %s", out)
+	}
+}
+
+// TestCSVRoundTrip is the regression test for cell escaping: commas,
+// quotes, newlines and carriage returns inside cells must survive a
+// write/parse round trip through a conforming RFC 4180 reader.
+func TestCSVRoundTrip(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	rows := [][]string{
+		{"plain", "with,comma", `quote"inside`},
+		{"multi\nline", "cr\rcell", `all,"of
+it`},
+		{"", " leading space", "trailing space "},
+	}
+	for _, r := range rows {
+		tb.Add(r[0], r[1], r[2])
+	}
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv cannot parse our own output: %v\n%s", err, b.String())
+	}
+	want := append([][]string{{"a", "b", "c"}}, rows...)
+	if len(got) != len(want) {
+		t.Fatalf("round trip produced %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("record %d round-tripped to %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteJSON: one object per row, header-keyed, numeric cells as JSON
+// numbers and everything else as strings.
+func TestWriteJSON(t *testing.T) {
+	tb := New("ignored title", "model", "tops", "note")
+	tb.Add("resnet18", 1.234, "has,comma")
+	tb.Add("vgg19", 12, `quote"and
+newline`)
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2 (one per row)", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if first["model"] != "resnet18" {
+		t.Errorf("model = %v, want resnet18", first["model"])
+	}
+	if v, ok := first["tops"].(float64); !ok || v != 1.234 {
+		t.Errorf("tops = %v (%T), want the JSON number 1.234", first["tops"], first["tops"])
+	}
+	if first["note"] != "has,comma" {
+		t.Errorf("note = %v", first["note"])
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 is not valid JSON: %v\n%s", err, lines[1])
+	}
+	if v, ok := second["tops"].(float64); !ok || v != 12 {
+		t.Errorf("integer cell = %v (%T), want the JSON number 12", second["tops"], second["tops"])
+	}
+	if second["note"] != "quote\"and\nnewline" {
+		t.Errorf("note with quote/newline = %q", second["note"])
 	}
 }

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies each model keeps for
+// quantile estimation.
+const latencyWindow = 1024
+
+// modelStats accumulates one model's serving counters. Counters are
+// atomic; the batch histogram and latency ring take a small mutex (they
+// are touched once per batch / per request, never per simulated cycle).
+type modelStats struct {
+	accepted  atomic.Int64
+	shed      atomic.Int64
+	expired   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	mu        sync.Mutex
+	batches   int64
+	batchHist []int64 // index = batch size after expiry shedding
+	lat       [latencyWindow]time.Duration
+	latN      int // samples written (ring wraps at latencyWindow)
+}
+
+func (m *modelStats) observeBatch(size int) {
+	m.mu.Lock()
+	m.batches++
+	if size < len(m.batchHist) {
+		m.batchHist[size]++
+	}
+	m.mu.Unlock()
+}
+
+func (m *modelStats) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.lat[m.latN%latencyWindow] = d
+	m.latN++
+	m.mu.Unlock()
+}
+
+// ModelMetrics is the serializable snapshot of one served model.
+type ModelMetrics struct {
+	// Queue state.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	MaxBatch   int `json:"max_batch"`
+	// Admission and completion counters.
+	Accepted  int64 `json:"accepted"`
+	Shed      int64 `json:"shed"`    // rejected at admission (queue full)
+	Expired   int64 `json:"expired"` // deadline passed while queued
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Dynamic batching: dispatches and histogram of dispatched batch sizes.
+	Batches   int64         `json:"batches"`
+	BatchHist map[int]int64 `json:"batch_size_histogram"`
+	// Request latency (admission to reply) over the last samples.
+	LatencySamples int     `json:"latency_samples"`
+	P50Ms          float64 `json:"latency_p50_ms"`
+	P95Ms          float64 `json:"latency_p95_ms"`
+	P99Ms          float64 `json:"latency_p99_ms"`
+	// Session pool state.
+	PooledChips int `json:"pooled_chips"`
+	PoolCap     int `json:"pool_cap"`
+}
+
+// Metrics is a point-in-time snapshot of the whole server.
+type Metrics struct {
+	Workers int                     `json:"workers"`
+	Models  map[string]ModelMetrics `json:"models"`
+}
+
+// Metrics snapshots every served model's counters, batch histogram and
+// latency quantiles.
+func (s *Server) Metrics() Metrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := Metrics{Workers: s.workers, Models: make(map[string]ModelMetrics, len(s.models))}
+	for name, q := range s.models {
+		out.Models[name] = q.snapshot()
+	}
+	return out
+}
+
+func (q *modelQueue) snapshot() ModelMetrics {
+	mm := ModelMetrics{
+		QueueDepth:  len(q.reqs),
+		QueueCap:    cap(q.reqs),
+		MaxBatch:    q.cfg.MaxBatch,
+		Accepted:    q.m.accepted.Load(),
+		Shed:        q.m.shed.Load(),
+		Expired:     q.m.expired.Load(),
+		Completed:   q.m.completed.Load(),
+		Failed:      q.m.failed.Load(),
+		PooledChips: q.sess.PooledChips(),
+		PoolCap:     q.sess.PoolCap(),
+	}
+	q.m.mu.Lock()
+	mm.Batches = q.m.batches
+	mm.BatchHist = make(map[int]int64)
+	for size, n := range q.m.batchHist {
+		if n > 0 {
+			mm.BatchHist[size] = n
+		}
+	}
+	n := q.m.latN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, q.m.lat[:n])
+	q.m.mu.Unlock()
+
+	mm.LatencySamples = n
+	if n > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		quantile := func(p float64) float64 {
+			i := int(p * float64(n-1))
+			return float64(samples[i]) / float64(time.Millisecond)
+		}
+		mm.P50Ms = quantile(0.50)
+		mm.P95Ms = quantile(0.95)
+		mm.P99Ms = quantile(0.99)
+	}
+	return mm
+}

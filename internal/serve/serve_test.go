@@ -1,0 +1,437 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/core"
+	"cimflow/internal/model"
+	"cimflow/internal/serve"
+	"cimflow/internal/tensor"
+)
+
+// newSession compiles a zoo model and stages it for serving tests.
+func newSession(t *testing.T, g *model.Graph, seed uint64, pool int) *core.Session {
+	t.Helper()
+	cfg := arch.DefaultConfig()
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyGeneric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSession(compiled, model.NewSeededWeights(g, seed), core.Options{MaxPooledChips: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// seededInput builds a deterministic input of the session's shape.
+func seededInput(s *core.Session, seed uint64) tensor.Tensor {
+	return model.SeededInput(s.InputShape(), seed)
+}
+
+func int8Bytes(t tensor.Tensor) []byte {
+	out := make([]byte, len(t.Data))
+	for i, v := range t.Data {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// TestServeEquivalence is the batching-equivalence acceptance test: served
+// outputs must be byte-identical to direct Session.Infer for the same
+// seeded inputs, at every batch size and worker count.
+func TestServeEquivalence(t *testing.T) {
+	g := model.TinyMLP()
+	sess := newSession(t, g, 11, 4)
+	defer sess.Close()
+	ctx := context.Background()
+
+	const n = 10
+	shape := sess.InputShape()
+	inputs := make([]tensor.Tensor, n)
+	refs := make([][]byte, n)
+	for i := range inputs {
+		inputs[i] = model.SeededInput(shape, uint64(100+i))
+		res, err := sess.Infer(ctx, inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = int8Bytes(res.Output)
+	}
+
+	for _, maxBatch := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("batch%d_workers%d", maxBatch, workers), func(t *testing.T) {
+				srv := serve.NewServer(workers)
+				if err := srv.AddModel("m", sess, serve.ModelConfig{
+					MaxBatch:   maxBatch,
+					MaxDelay:   2 * time.Millisecond,
+					QueueDepth: 2 * n,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				errs := make([]error, n)
+				outs := make([][]byte, n)
+				for i := 0; i < n; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						res, err := srv.Infer(ctx, "m", inputs[i])
+						if err != nil {
+							errs[i] = err
+							return
+						}
+						outs[i] = int8Bytes(res.Output)
+					}(i)
+				}
+				wg.Wait()
+				if err := srv.Close(); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if errs[i] != nil {
+						t.Fatalf("request %d: %v", i, errs[i])
+					}
+					if !bytes.Equal(outs[i], refs[i]) {
+						t.Errorf("request %d: served output differs from direct Session.Infer", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDynamicBatchingCoalesces: with MaxBatch=8 and a generous MaxDelay,
+// eight concurrent requests are served as one batch of eight.
+func TestDynamicBatchingCoalesces(t *testing.T) {
+	g := model.TinyMLP()
+	sess := newSession(t, g, 1, 2)
+	defer sess.Close()
+	srv := serve.NewServer(1)
+	if err := srv.AddModel("m", sess, serve.ModelConfig{
+		MaxBatch:   8,
+		MaxDelay:   500 * time.Millisecond,
+		QueueDepth: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.Infer(ctx, "m", seededInput(sess, uint64(i))); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mm := srv.Metrics().Models["m"]
+	if mm.Batches != 1 || mm.BatchHist[8] != 1 {
+		t.Errorf("batches=%d hist=%v, want one batch of 8", mm.Batches, mm.BatchHist)
+	}
+	if mm.Completed != 8 {
+		t.Errorf("completed=%d, want 8", mm.Completed)
+	}
+	if mm.LatencySamples != 8 || mm.P99Ms < mm.P50Ms {
+		t.Errorf("latency snapshot inconsistent: %+v", mm)
+	}
+}
+
+// slowNet is a synthetic workload heavy enough (tens of ms per inference)
+// that a dispatched batch keeps a worker provably busy while the test
+// stages the queue into a known state.
+func slowNet() *model.Graph {
+	g, x := model.NewGraph("slownet", model.Shape{H: 16, W: 16, C: 32})
+	x = g.Conv("c1", x, 64, 3, 1, 1, true)
+	x = g.Conv("c2", x, 64, 3, 1, 1, true)
+	x = g.Conv("c3", x, 64, 3, 1, 1, true)
+	g.Dense("fc", g.Flatten("fl", g.GlobalAvgPool("gap", x)), 10, false)
+	return g
+}
+
+// waitFor polls a metrics predicate; serving state transitions (batch
+// formed, queue drained) are observable but asynchronous.
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionShedding drives the queue into a provably full state and
+// asserts the bounded queue sheds with the typed ErrOverloaded while every
+// accepted request is still served.
+//
+// With one worker, MaxBatch = QueueDepth = 8 and an effectively infinite
+// MaxDelay, the system is staged deterministically: batch 1 (8 requests)
+// dispatches and occupies the worker for hundreds of milliseconds; batch 2
+// (8 requests) forms fully and blocks at the dispatch gate; 8 more
+// requests fill the admission queue; the 25th request must shed. Each
+// burst matches the queue depth, so no fill phase can overflow even when
+// the batcher drains slowly (e.g. under the race detector).
+func TestAdmissionShedding(t *testing.T) {
+	sess := newSession(t, slowNet(), 1, 1)
+	defer sess.Close()
+	srv := serve.NewServer(1)
+	if err := srv.AddModel("m", sess, serve.ModelConfig{
+		MaxBatch:   8,
+		MaxDelay:   10 * time.Second, // batches always fill completely
+		QueueDepth: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mm := func() serve.ModelMetrics { return srv.Metrics().Models["m"] }
+	var wg sync.WaitGroup
+	errs := make([]error, 24)
+	submit := func(from, to int) {
+		for i := from; i < to; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = srv.Infer(ctx, "m", seededInput(sess, uint64(i)))
+			}(i)
+		}
+	}
+	// Batch 1 fills and dispatches: the worker is now busy for ~8 slow
+	// inferences.
+	submit(0, 8)
+	waitFor(t, "batch 1 dispatch", func() bool { return mm().Batches == 1 })
+	// Batch 2 fills and blocks at the dispatch gate behind the busy worker.
+	submit(8, 16)
+	waitFor(t, "batch 2 formed", func() bool {
+		m := mm()
+		return m.Accepted == 16 && m.QueueDepth == 0
+	})
+	// Eight more requests fill the admission queue (nothing consumes them:
+	// the batcher is blocked at the gate).
+	submit(16, 24)
+	waitFor(t, "queue full", func() bool { return mm().QueueDepth == 8 })
+	// The 25th request finds the queue full and is shed synchronously.
+	if _, err := srv.Infer(ctx, "m", seededInput(sess, 99)); !errors.Is(err, serve.ErrOverloaded) {
+		t.Errorf("overflow request: %v, want ErrOverloaded", err)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("accepted request %d failed: %v", i, err)
+		}
+	}
+	m := mm()
+	if m.Accepted != 24 || m.Shed != 1 || m.Completed != 24 {
+		t.Errorf("accepted=%d shed=%d completed=%d, want 24, 1, 24", m.Accepted, m.Shed, m.Completed)
+	}
+}
+
+// TestDeadlineExpiresInQueue: a request whose context deadline passes while
+// it waits in a forming batch is shed at dispatch time with its context
+// error; the live request in the same batch still completes.
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	g := model.TinyMLP()
+	sess := newSession(t, g, 1, 1)
+	defer sess.Close()
+	srv := serve.NewServer(1)
+	if err := srv.AddModel("m", sess, serve.ModelConfig{
+		MaxBatch:   3, // never fills: dispatch waits out the full MaxDelay
+		MaxDelay:   400 * time.Millisecond,
+		QueueDepth: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errA = srv.Infer(context.Background(), "m", seededInput(sess, 1))
+	}()
+	// Give A a moment to start its batch, then enqueue B with a deadline
+	// far shorter than the 400ms the batcher will wait for a third request.
+	time.Sleep(20 * time.Millisecond)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		_, errB = srv.Infer(ctx, "m", seededInput(sess, 2))
+	}()
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if errA != nil {
+		t.Errorf("request A: %v, want success", errA)
+	}
+	if !errors.Is(errB, context.DeadlineExceeded) {
+		t.Errorf("request B: %v, want context.DeadlineExceeded", errB)
+	}
+	mm := srv.Metrics().Models["m"]
+	if mm.Expired != 1 || mm.Completed != 1 {
+		t.Errorf("expired=%d completed=%d, want 1 and 1", mm.Expired, mm.Completed)
+	}
+}
+
+// TestFairnessAcrossModels: one worker, two hot models — the batch-level
+// round-robin at the dispatch gate must interleave them rather than serve
+// one model to completion first.
+func TestFairnessAcrossModels(t *testing.T) {
+	sessA := newSession(t, model.TinyMLP(), 1, 1)
+	defer sessA.Close()
+	sessB := newSession(t, model.TinyCNN(), 2, 1)
+	defer sessB.Close()
+	srv := serve.NewServer(1)
+	cfg := serve.ModelConfig{MaxBatch: 2, QueueDepth: 16}
+	if err := srv.AddModel("a", sessA, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddModel("b", sessB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const perModel = 6
+	type doneAt struct {
+		model string
+		at    time.Time
+	}
+	times := make(chan doneAt, 2*perModel)
+	var wg sync.WaitGroup
+	for _, m := range []struct {
+		name string
+		sess *core.Session
+	}{{"a", sessA}, {"b", sessB}} {
+		for i := 0; i < perModel; i++ {
+			wg.Add(1)
+			go func(name string, sess *core.Session, i int) {
+				defer wg.Done()
+				if _, err := srv.Infer(ctx, name, seededInput(sess, uint64(i))); err != nil {
+					t.Errorf("%s/%d: %v", name, i, err)
+					return
+				}
+				times <- doneAt{name, time.Now()}
+			}(m.name, m.sess, i)
+		}
+	}
+	wg.Wait()
+	close(times)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := map[string]time.Time{}
+	last := map[string]time.Time{}
+	for d := range times {
+		if first[d.model].IsZero() || d.at.Before(first[d.model]) {
+			first[d.model] = d.at
+		}
+		if d.at.After(last[d.model]) {
+			last[d.model] = d.at
+		}
+	}
+	if len(first) != 2 {
+		t.Fatalf("completions for %d models, want 2", len(first))
+	}
+	if !first["a"].Before(last["b"]) || !first["b"].Before(last["a"]) {
+		t.Errorf("one model was starved: a=[%v..%v] b=[%v..%v]",
+			first["a"], last["a"], first["b"], last["b"])
+	}
+}
+
+// TestGracefulDrain: Close stops admission but serves every already-queued
+// request before returning.
+func TestGracefulDrain(t *testing.T) {
+	g := model.TinyMLP()
+	sess := newSession(t, g, 1, 1)
+	defer sess.Close()
+	srv := serve.NewServer(1)
+	if err := srv.AddModel("m", sess, serve.ModelConfig{
+		MaxBatch:   2,
+		QueueDepth: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = srv.Infer(ctx, "m", seededInput(sess, uint64(i)))
+		}(i)
+	}
+	// Close only after all n requests were admitted, so none race admission.
+	for srv.Metrics().Models["m"].Accepted < n {
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d failed during drain: %v", i, err)
+		}
+	}
+	mm := srv.Metrics().Models["m"]
+	if mm.Completed != n {
+		t.Errorf("completed=%d after drain, want %d", mm.Completed, n)
+	}
+	if _, err := srv.Infer(ctx, "m", seededInput(sess, 0)); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("Infer after Close = %v, want ErrClosed", err)
+	}
+	if err := srv.AddModel("late", sess, serve.ModelConfig{}); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("AddModel after Close = %v, want ErrClosed", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+// TestAdmissionRejections: unknown models, mis-shaped inputs and expired
+// contexts are rejected synchronously with diagnosable errors.
+func TestAdmissionRejections(t *testing.T) {
+	g := model.TinyMLP()
+	sess := newSession(t, g, 1, 1)
+	defer sess.Close()
+	srv := serve.NewServer(1)
+	defer srv.Close()
+	if err := srv.AddModel("m", sess, serve.ModelConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := srv.Infer(ctx, "nope", seededInput(sess, 1)); !errors.Is(err, serve.ErrUnknownModel) {
+		t.Errorf("unknown model: %v, want ErrUnknownModel", err)
+	}
+	if _, err := srv.Infer(ctx, "m", tensor.New(1, 1, 1)); err == nil {
+		t.Error("mis-shaped input was admitted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := srv.Infer(cancelled, "m", seededInput(sess, 1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx: %v, want context.Canceled", err)
+	}
+	if got := srv.Models(); len(got) != 1 || got[0] != "m" {
+		t.Errorf("Models() = %v, want [m]", got)
+	}
+}

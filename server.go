@@ -1,0 +1,176 @@
+package cimflow
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cimflow/internal/serve"
+)
+
+// Serving errors and metric types re-exported from internal/serve.
+var (
+	// ErrOverloaded reports load shedding: the model's bounded request
+	// queue was full at admission time.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrUnknownModel reports a request for a model the server does not
+	// serve.
+	ErrUnknownModel = serve.ErrUnknownModel
+	// ErrServerClosed reports a request submitted after Server.Close.
+	ErrServerClosed = serve.ErrClosed
+)
+
+type (
+	// ModelMetrics is one served model's snapshot: queue state, admission
+	// counters, batch-size histogram and latency quantiles.
+	ModelMetrics = serve.ModelMetrics
+)
+
+// ServerMetrics is a point-in-time snapshot of a Server: per-model serving
+// metrics plus the engine's compile-cache and chip-pool counters.
+type ServerMetrics struct {
+	Workers      int                     `json:"workers"`
+	Models       map[string]ModelMetrics `json:"models"`
+	CompileCalls int64                   `json:"compile_calls"`
+	CacheHits    int64                   `json:"cache_hits"`
+	PooledChips  int                     `json:"pooled_chips"`
+}
+
+// ServeOption configures a Server or one served model, mirroring the
+// Engine's functional-option style.
+type ServeOption func(*serveSettings)
+
+type serveSettings struct {
+	workers     int
+	model       serve.ModelConfig
+	sessionOpts []Option
+}
+
+// WithWorkers sets the server's dispatch worker-pool size (default 1).
+// Workers are the unit of chip parallelism: each dispatches one coalesced
+// batch at a time, sequentially within the batch, so total simultaneous
+// simulations equal the worker count.
+func WithWorkers(n int) ServeOption {
+	return func(s *serveSettings) { s.workers = n }
+}
+
+// WithMaxBatch caps how many queued requests the dynamic batcher coalesces
+// into one dispatch (default 8).
+func WithMaxBatch(n int) ServeOption {
+	return func(s *serveSettings) { s.model.MaxBatch = n }
+}
+
+// WithMaxDelay bounds how long the batcher waits after a batch's first
+// request for more to arrive (default 2ms; 0 batches greedily).
+func WithMaxDelay(d time.Duration) ServeOption {
+	return func(s *serveSettings) { s.model.MaxDelay = d }
+}
+
+// WithQueueDepth bounds a model's admission queue; requests beyond it are
+// shed with ErrOverloaded (default 64).
+func WithQueueDepth(n int) ServeOption {
+	return func(s *serveSettings) { s.model.QueueDepth = n }
+}
+
+// WithSessionOptions forwards engine options (WithStrategy, WithSeed, …)
+// to the Session a served model is built on.
+func WithSessionOptions(opts ...Option) ServeOption {
+	return func(s *serveSettings) { s.sessionOpts = append(s.sessionOpts, opts...) }
+}
+
+// Server is the multi-model inference serving front of the framework,
+// layered on an Engine: each served model gets a bounded request queue
+// with deadline-aware admission control and a dynamic batcher, and a
+// worker pool shared fairly across hot models dispatches the coalesced
+// batches onto pooled chips. Build one with NewServer, register models
+// with ServeModel, submit with Infer, observe with Metrics, and drain
+// gracefully with Close. A Server is safe for concurrent use.
+type Server struct {
+	engine   *Engine
+	inner    *serve.Server
+	defaults serveSettings
+}
+
+// NewServer starts a serving front end over an engine. Server-wide options
+// (WithWorkers) apply here; model options passed here become defaults for
+// every ServeModel call.
+func NewServer(e *Engine, opts ...ServeOption) *Server {
+	s := &Server{engine: e}
+	for _, opt := range opts {
+		opt(&s.defaults)
+	}
+	s.inner = serve.NewServer(s.defaults.workers)
+	return s
+}
+
+// Engine returns the engine the server runs on.
+func (s *Server) Engine() *Engine { return s.engine }
+
+// ServeModel compiles the named zoo model through the engine (reusing its
+// cache and session pool) and registers it for serving. Options override
+// the server-wide defaults for this model only.
+func (s *Server) ServeModel(name string, opts ...ServeOption) error {
+	g, err := LookupModel(name)
+	if err != nil {
+		return err
+	}
+	return s.ServeGraph(name, g, opts...)
+}
+
+// ServeGraph registers a custom graph under a name, for models built with
+// NewGraph rather than looked up from the zoo.
+func (s *Server) ServeGraph(name string, g *Graph, opts ...ServeOption) error {
+	if s.inner.Serves(name) {
+		return fmt.Errorf("cimflow: model %q already served", name)
+	}
+	st := s.defaults
+	for _, opt := range opts {
+		opt(&st)
+	}
+	sess, err := s.engine.Session(g, st.sessionOpts...)
+	if err != nil {
+		return err
+	}
+	return s.inner.AddModel(name, sess.inner, st.model)
+}
+
+// Models lists the served model names, sorted.
+func (s *Server) Models() []string { return s.inner.Models() }
+
+// InputShape returns the input tensor shape a served model expects.
+func (s *Server) InputShape(model string) (Shape, error) {
+	sess, _, err := s.inner.Model(model)
+	if err != nil {
+		return Shape{}, err
+	}
+	return sess.InputShape(), nil
+}
+
+// Infer submits one request and blocks until it is served, shed or ctx
+// expires. Admission is deadline-aware: an expired context fails
+// immediately, a full queue sheds with ErrOverloaded, and a request whose
+// deadline passes while queued is dropped at dispatch time. Served
+// results are byte-identical to a direct Session.Infer with the same
+// input.
+func (s *Server) Infer(ctx context.Context, model string, input Tensor) (*Result, error) {
+	return s.inner.Infer(ctx, model, input)
+}
+
+// Metrics snapshots the server: per-model queue depth, admission and
+// completion counters, batch-size histogram, p50/p95/p99 request latency,
+// and the engine's compile-cache and chip-pool counters.
+func (s *Server) Metrics() ServerMetrics {
+	m := s.inner.Metrics()
+	return ServerMetrics{
+		Workers:      m.Workers,
+		Models:       m.Models,
+		CompileCalls: s.engine.CompileCalls(),
+		CacheHits:    s.engine.CacheHits(),
+		PooledChips:  s.engine.PooledChips(),
+	}
+}
+
+// Close stops admission, serves every queued request, and stops the
+// workers. It leaves the engine (and its sessions) open so the caller can
+// keep using them or shut them down with Engine.Close.
+func (s *Server) Close() error { return s.inner.Close() }
