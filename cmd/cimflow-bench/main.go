@@ -22,6 +22,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,6 +36,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	workers := flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 	format := flag.String("format", "table", "stdout format: table | csv | json (one JSON object per row)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 	switch *format {
 	case "table", "csv", "json":
@@ -47,6 +51,54 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Profiling hooks so hot-path regressions in the simulator are
+	// diagnosable from the shipped binary (go tool pprof), without editing
+	// benchmark code. Profiles are flushed through flushProfiles on both
+	// the normal and the fail exit paths — os.Exit skips defers, and an
+	// interrupted profiled run (Ctrl-C during a figure) must still leave a
+	// readable profile behind.
+	flushProfiles := func() {}
+	fail := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"cimflow-bench:"}, args...)...)
+		flushProfiles()
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("starting CPU profile:", err)
+		}
+		stop := func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		flushProfiles = stop
+		defer stop()
+	}
+	if *memProfile != "" {
+		writeHeap := func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cimflow-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cimflow-bench: writing heap profile:", err)
+			}
+		}
+		stopCPU := flushProfiles
+		flushProfiles = func() {
+			stopCPU()
+			writeHeap()
+		}
+		defer writeHeap()
+	}
+
 	var subset []string
 	if *models != "" {
 		subset = strings.Split(*models, ",")
@@ -55,10 +107,6 @@ func main() {
 	cache := cimflow.NewCompileCache()
 	opt := cimflow.SweepOptions{Workers: *workers, Cache: cache}
 
-	fail := func(args ...any) {
-		fmt.Fprintln(os.Stderr, append([]any{"cimflow-bench:"}, args...)...)
-		os.Exit(1)
-	}
 	writeCSV := func(name string, t *cimflow.Table) error {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err

@@ -161,7 +161,15 @@ func Compile(g *model.Graph, cfg *arch.Config, opt Options) (*Compiled, error) {
 		if len(code)*4 > cfg.Core.InstMemBytes {
 			return nil, fmt.Errorf("compiler: core %d program %d instructions exceeds instruction memory", id, len(code))
 		}
-		c.Programs = append(c.Programs, sim.Program{Core: id, Code: code})
+		// Lower to the predecoded micro-op form once per artifact: every
+		// chip (session pool, DSE sweep worker) shares the immutable
+		// decoded program, and illegal encodings surface as compile errors
+		// instead of mid-simulation faults.
+		dec, err := isa.Predecode(code)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: core %d: %w", id, err)
+		}
+		c.Programs = append(c.Programs, sim.Program{Core: id, Code: code, Decoded: dec})
 	}
 	return c, nil
 }

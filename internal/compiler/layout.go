@@ -187,11 +187,15 @@ func (c *Compiled) StaticInit(ws model.WeightStore) ([]sim.GlobalSegment, error)
 				rowBase := 0
 				for _, t := range gm.tiles {
 					for r := 0; r < t.Rows; r++ {
-						srcRow := rowBase + r
-						for ch := 0; ch < chans; ch++ {
-							data[pos] = byte(w[srcRow*n.Cout+ct*gc+ch])
-							pos++
+						// One weight row's channel tile is contiguous in the
+						// source; copy it span-wise so staging a pooled
+						// session is not byte-indexed arithmetic per element.
+						src := w[(rowBase+r)*n.Cout+ct*gc:][:chans]
+						dst := data[pos:][:chans]
+						for i := range src {
+							dst[i] = byte(src[i])
 						}
+						pos += chans
 					}
 					rowBase += t.Rows
 				}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+// TestInterpreterEquivalence is the differential proof behind the
+// predecoded execution pipeline: every model-zoo graph under every
+// compilation strategy is simulated twice — once on the legacy
+// instruction-at-a-time interpreter, once on the predecoded dispatch loop —
+// and the runs must agree byte for byte on the output tensor and exactly on
+// cycles, instruction counts, MACs, the full energy breakdown and every
+// per-core stat. In -short mode the four large benchmark DNNs are skipped;
+// the tiny networks still cover every operator lowering.
+func TestInterpreterEquivalence(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	large := map[string]bool{"resnet18": true, "vgg19": true, "mobilenetv2": true, "efficientnetb0": true}
+	for _, name := range model.ZooNames() {
+		if (testing.Short() || raceEnabled) && large[name] {
+			continue
+		}
+		g := model.Zoo(name)
+		for _, strat := range []compiler.Strategy{
+			compiler.StrategyGeneric, compiler.StrategyDuplication, compiler.StrategyDP,
+		} {
+			t.Run(name+"/"+strat.String(), func(t *testing.T) {
+				t.Parallel()
+				// One compile feeds both interpreters: predecoded programs
+				// ride along in the artifact and the legacy chip ignores them.
+				compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ws := model.NewSeededWeights(g, 1)
+				input := model.SeededInput(g.Nodes[0].OutShape, 2)
+
+				legacy, err := Simulate(context.Background(), compiled, ws, input,
+					Options{LegacyInterpreter: true})
+				if err != nil {
+					t.Fatalf("legacy interpreter: %v", err)
+				}
+				decoded, err := Simulate(context.Background(), compiled, ws, input, Options{})
+				if err != nil {
+					t.Fatalf("predecoded interpreter: %v", err)
+				}
+
+				if !reflect.DeepEqual(legacy.Output.Data, decoded.Output.Data) {
+					t.Error("output tensors differ")
+				}
+				if legacy.Stats.Cycles != decoded.Stats.Cycles {
+					t.Errorf("cycles: legacy %d, predecoded %d", legacy.Stats.Cycles, decoded.Stats.Cycles)
+				}
+				if legacy.Stats.Instructions != decoded.Stats.Instructions {
+					t.Errorf("instructions: legacy %d, predecoded %d",
+						legacy.Stats.Instructions, decoded.Stats.Instructions)
+				}
+				if legacy.Stats.MACs != decoded.Stats.MACs {
+					t.Errorf("MACs: legacy %d, predecoded %d", legacy.Stats.MACs, decoded.Stats.MACs)
+				}
+				if legacy.Stats.Energy != decoded.Stats.Energy {
+					t.Errorf("energy breakdown differs:\nlegacy    %+v\npredecoded %+v",
+						legacy.Stats.Energy, decoded.Stats.Energy)
+				}
+				if !reflect.DeepEqual(legacy.Stats.Cores, decoded.Stats.Cores) {
+					for i := range legacy.Stats.Cores {
+						if !reflect.DeepEqual(legacy.Stats.Cores[i], decoded.Stats.Cores[i]) {
+							t.Errorf("core %d stats differ:\nlegacy    %+v\npredecoded %+v",
+								i, legacy.Stats.Cores[i], decoded.Stats.Cores[i])
+							break
+						}
+					}
+				}
+				if legacy.Stats.NoCBytes != decoded.Stats.NoCBytes ||
+					legacy.Stats.NoCByteHops != decoded.Stats.NoCByteHops ||
+					legacy.Stats.GlobalBytes != decoded.Stats.GlobalBytes {
+					t.Error("NoC traffic stats differ")
+				}
+			})
+		}
+	}
+}
+
+// TestInterpreterEquivalencePooled proves the equivalence holds on reused
+// (pooled, Reset) chips as well as fresh ones: a session run twice under
+// each interpreter must reproduce the first run exactly.
+func TestInterpreterEquivalencePooled(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.TinyResNet()
+	compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: compiler.StrategyDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := model.NewSeededWeights(g, 1)
+	input := model.SeededInput(g.Nodes[0].OutShape, 2)
+	for _, opt := range []Options{{LegacyInterpreter: true}, {}} {
+		opt.MaxPooledChips = 1
+		s, err := NewSession(compiled, ws, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := s.Infer(context.Background(), input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := s.Infer(context.Background(), input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Output.Data, second.Output.Data) ||
+			first.Stats.Cycles != second.Stats.Cycles {
+			t.Errorf("pooled rerun diverged (legacy=%v)", opt.LegacyInterpreter)
+		}
+		s.Close()
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race; the
+// differential equivalence suite then skips the four large benchmark DNNs,
+// whose race-instrumented simulations would blow the per-package test
+// timeout without exercising any concurrency the tiny networks miss.
+const raceEnabled = true

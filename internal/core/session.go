@@ -112,7 +112,11 @@ func (s *Session) Close() error {
 
 // newChip builds a fresh chip with programs loaded and weights staged.
 func (s *Session) newChip() (*sim.Chip, error) {
-	ch, err := sim.NewChip(&s.cfg)
+	var chipOpts []sim.ChipOption
+	if s.opt.LegacyInterpreter {
+		chipOpts = append(chipOpts, sim.WithLegacyInterpreter())
+	}
+	ch, err := sim.NewChip(&s.cfg, chipOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,263 @@
+package isa
+
+import "fmt"
+
+// Kind is the dense dispatch index of a predecoded instruction. Where
+// Opcode is the sparse 6-bit architectural encoding, Kind is contiguous so
+// the simulator can dispatch through a flat handler table without nested
+// switches. Opcodes that share an execution path (the four branches, the
+// four scalar memory accesses) collapse onto one kind and carry their
+// variant in the predecoded fields.
+type Kind uint8
+
+const (
+	KindNOP Kind = iota
+	KindHALT
+	KindJMP
+	KindBranch  // BEQ/BNE/BLT/BGE; condition in Funct
+	KindScALU   // register-register scalar ALU
+	KindScALUI  // register-immediate scalar ALU
+	KindScLUI   // load upper immediate
+	KindScMTS   // move to special register
+	KindScMFS   // move from special register
+	KindScMem   // SC_LD/SC_ST/SC_LB/SC_SB; width and direction predecoded
+	KindMemCpy  // local/global block copy
+	KindVFill   // local memory fill
+	KindSend    // NoC send
+	KindRecv    // NoC receive
+	KindBarrier // chip-wide barrier
+	KindCimLoad // weight load into a macro group
+	KindCimMVM  // matrix-vector multiply
+	KindVec     // vector unit operation; element sizes predecoded
+
+	// NumKinds sizes dispatch tables indexed by Kind.
+	NumKinds
+)
+
+// Branch condition codes stored in Decoded.Funct for KindBranch.
+const (
+	BrEQ uint8 = iota
+	BrNE
+	BrLT
+	BrGE
+)
+
+// Decoded is the pre-decoded micro-op form of one Instruction: everything
+// that is invariant per instruction — the dispatch kind, the execution
+// unit, the scoreboard source-register list, branch targets, element sizes,
+// flag bits — is resolved once by Predecode so the simulator's steady-state
+// loop does no per-step table walks, format switches or re-validation.
+// A Decoded program is immutable during execution and may be shared by any
+// number of concurrently running chips.
+type Decoded struct {
+	Kind Kind
+	Unit Unit
+
+	RS, RT, RE, RD uint8
+	// Funct carries the scalar ALU function (KindScALU/KindScALUI), the
+	// vector function (KindVec) or the branch condition (KindBranch).
+	Funct uint8
+	// Srcs[:NSrc] is the prebuilt scoreboard source-register list.
+	NSrc uint8
+	Srcs [4]uint8
+
+	Imm   int32
+	Flags uint16
+	// Target is the resolved next pc of KindJMP and of a taken KindBranch,
+	// validated against the program bounds at predecode time.
+	Target int32
+
+	// KindScMem: access width in bytes (1 or 4) and direction.
+	MemSize int32
+	IsLoad  bool
+
+	// KindScMTS: false when the target special register is read-only.
+	WritesSReg bool
+
+	// KindVec: element byte sizes (SizeB 0 = scalar/unused operand) and
+	// whether the function is a reduction.
+	SizeA, SizeB, SizeD int32
+	Reduce              bool
+
+	// KindCimMVM: unpacked flag bits and target macro group.
+	MG         int32
+	Accumulate bool
+	Writeback  bool
+	WriteRaw   bool
+	Relu       bool
+}
+
+func srcs(rs ...uint8) (uint8, [4]uint8) {
+	var a [4]uint8
+	copy(a[:], rs)
+	return uint8(len(rs)), a
+}
+
+// Predecode lowers an instruction stream into its micro-op form, performing
+// the exhaustive static validation the interpreter would otherwise repeat
+// every step: unknown opcodes, out-of-range jump and branch targets,
+// unknown scalar and vector functions, and out-of-range special-register
+// indices all fail here — at lower time — instead of mid-simulation.
+// Data-dependent faults (division by zero, out-of-bounds memory operands,
+// negative lengths) necessarily remain run-time errors.
+func Predecode(code []Instruction) ([]Decoded, error) {
+	out := make([]Decoded, len(code))
+	for pc := range code {
+		if err := predecodeOne(&out[pc], code[pc], pc, len(code)); err != nil {
+			return nil, fmt.Errorf("isa: predecode pc %d [%s]: %w", pc, code[pc], err)
+		}
+	}
+	return out, nil
+}
+
+func predecodeOne(d *Decoded, in Instruction, pc, n int) error {
+	d.RS, d.RT, d.RE, d.RD = in.RS, in.RT, in.RE, in.RD
+	d.Imm, d.Flags = in.Imm, in.Flags
+	d.Unit = UnitOf(in.Op)
+	switch in.Op {
+	case OpNOP:
+		d.Kind = KindNOP
+	case OpHALT:
+		d.Kind = KindHALT
+	case OpJMP:
+		d.Kind = KindJMP
+		d.Target = int32(pc) + 1 + in.Imm
+		// Target == n is legal at jump time and faults on the next fetch,
+		// exactly as the architectural interpreter behaves.
+		if d.Target < 0 || d.Target > int32(n) {
+			return fmt.Errorf("jump target %d out of range [0, %d]", d.Target, n)
+		}
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		d.Kind = KindBranch
+		switch in.Op {
+		case OpBEQ:
+			d.Funct = BrEQ
+		case OpBNE:
+			d.Funct = BrNE
+		case OpBLT:
+			d.Funct = BrLT
+		case OpBGE:
+			d.Funct = BrGE
+		}
+		d.Unit = UnitControl
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT)
+		d.Target = int32(pc) + 1 + in.Imm
+		if d.Target < 0 || d.Target > int32(n) {
+			return fmt.Errorf("branch target %d out of range [0, %d]", d.Target, n)
+		}
+	case OpScALU:
+		d.Kind = KindScALU
+		if in.Funct >= numScalarFn {
+			return fmt.Errorf("unknown scalar funct %d", in.Funct)
+		}
+		d.Funct = in.Funct
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT)
+	case OpScALUI:
+		d.Kind = KindScALUI
+		if in.Funct >= numScalarFn {
+			return fmt.Errorf("unknown scalar funct %d", in.Funct)
+		}
+		d.Funct = in.Funct
+		d.NSrc, d.Srcs = srcs(in.RS)
+	case OpScLUI:
+		d.Kind = KindScLUI
+	case OpScMTS:
+		d.Kind = KindScMTS
+		if in.Imm < 0 || int(in.Imm) >= NumSRegs {
+			return fmt.Errorf("special register %d out of range", in.Imm)
+		}
+		d.WritesSReg = in.Imm != SRegCoreID // core id is read-only
+		d.NSrc, d.Srcs = srcs(in.RS)
+	case OpScMFS:
+		d.Kind = KindScMFS
+		if in.Imm < 0 || int(in.Imm) >= NumSRegs {
+			return fmt.Errorf("special register %d out of range", in.Imm)
+		}
+	case OpScLD, OpScST, OpScLB, OpScSB:
+		d.Kind = KindScMem
+		d.MemSize = 4
+		if in.Op == OpScLB || in.Op == OpScSB {
+			d.MemSize = 1
+		}
+		d.IsLoad = in.Op == OpScLD || in.Op == OpScLB
+		if d.IsLoad {
+			d.NSrc, d.Srcs = srcs(in.RS)
+		} else {
+			d.NSrc, d.Srcs = srcs(in.RS, in.RT)
+		}
+	case OpMemCpy:
+		d.Kind = KindMemCpy
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT, in.RD)
+	case OpVFill:
+		d.Kind = KindVFill
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT)
+	case OpSend:
+		d.Kind = KindSend
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT, in.RD)
+	case OpRecv:
+		d.Kind = KindRecv
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT, in.RD)
+	case OpBarrier:
+		d.Kind = KindBarrier
+	case OpCimLoad:
+		d.Kind = KindCimLoad
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT, in.RE, in.RD)
+	case OpCimMVM:
+		d.Kind = KindCimMVM
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT, in.RE)
+		d.MG = int32(MVMFlagMG(in.Flags))
+		d.Accumulate = in.Flags&MVMFlagAccumulate != 0
+		d.Writeback = in.Flags&MVMFlagWriteback != 0
+		d.WriteRaw = in.Flags&MVMFlagWriteRaw != 0
+		d.Relu = in.Flags&MVMFlagRelu != 0
+	case OpVec:
+		d.Kind = KindVec
+		a, b, ds, err := VecElemSizes(in.Funct)
+		if err != nil {
+			return err
+		}
+		d.Funct = in.Funct
+		d.SizeA, d.SizeB, d.SizeD = a, b, ds
+		d.Reduce = VecIsReduction(in.Funct)
+		d.NSrc, d.Srcs = srcs(in.RS, in.RT, in.RD, in.RE)
+	default:
+		if _, ok := Lookup(in.Op); ok {
+			return fmt.Errorf("opcode %d is registered but has no simulator semantics", in.Op)
+		}
+		return fmt.Errorf("unknown opcode %d", in.Op)
+	}
+	return nil
+}
+
+// VecElemSizes returns the element byte sizes (a, b, d) of a vector
+// function; b = 0 means operand B is a scalar register or unused.
+func VecElemSizes(fn uint8) (a, b, d int32, err error) {
+	switch fn {
+	case VFnAdd8, VFnMul8, VFnMax8, VFnMin8, VFnQAdd8, VFnQMul8:
+		return 1, 1, 1, nil
+	case VFnMov8, VFnRelu8, VFnSigm8, VFnSilu8:
+		return 1, 0, 1, nil
+	case VFnRelu68, VFnAddS8, VFnMaxS8:
+		return 1, 0, 1, nil
+	case VFnAdd32:
+		return 4, 4, 4, nil
+	case VFnMac8:
+		return 1, 1, 4, nil
+	case VFnAcc8:
+		return 1, 0, 4, nil
+	case VFnQnt:
+		return 4, 0, 1, nil
+	case VFnRSum8:
+		return 1, 0, 4, nil
+	case VFnRSum32:
+		return 4, 0, 4, nil
+	case VFnRMax8:
+		return 1, 0, 1, nil
+	}
+	return 0, 0, 0, fmt.Errorf("unknown vector funct %d", fn)
+}
+
+// VecIsReduction reports whether a vector function writes a single element.
+func VecIsReduction(fn uint8) bool {
+	return fn == VFnRSum8 || fn == VFnRSum32 || fn == VFnRMax8
+}

@@ -31,6 +31,11 @@ type Mesh struct {
 	memLat      int64
 	memPJ       float64
 
+	// routeBuf is the reusable scratch the XY router writes link sequences
+	// into: a Mesh belongs to one single-threaded chip simulation, so one
+	// buffer keeps the per-message hot path allocation-free.
+	routeBuf []int
+
 	// Accounting.
 	TotalBytes    int64   // payload bytes injected
 	TotalByteHops int64   // bytes x hops traversed
@@ -100,7 +105,7 @@ func (m *Mesh) linkID(row, col, dir int) int { return (row*m.cols+col)*5 + dir }
 func (m *Mesh) route(src, dst int) []int {
 	r1, c1 := m.coord(src)
 	r2, c2 := m.coord(dst)
-	var links []int
+	links := m.routeBuf[:0]
 	for c1 < c2 {
 		links = append(links, m.linkID(r1, c1, 0))
 		c1++
@@ -118,6 +123,7 @@ func (m *Mesh) route(src, dst int) []int {
 		r1--
 	}
 	links = append(links, m.linkID(r2, c2, 4))
+	m.routeBuf = links
 	return links
 }
 

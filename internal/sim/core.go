@@ -32,7 +32,8 @@ type stepStatus int
 
 const (
 	stepOK stepStatus = iota
-	stepBlocked
+	stepBlocked // waiting on a RECV whose message has not arrived
+	stepBarrier // arrived at a BARRIER (pc already past it)
 	stepHalted
 )
 
@@ -45,16 +46,41 @@ type core struct {
 	id   int
 	chip *Chip
 	code []isa.Instruction
+	// prog is the predecoded micro-op form of code, nil on chips running
+	// the legacy interpreter. It is immutable and may be shared between
+	// chips executing the same compiled artifact. progHash digests the
+	// instruction stream prog was derived from, so Run re-predecodes when
+	// test code swaps or mutates the stream behind LoadProgram's back.
+	prog     []isa.Decoded
+	progHash uint64
 
 	pc    int
 	regs  [isa.NumGRegs]int32
 	sregs [isa.NumSRegs]int32
 	local []byte
 
+	// Constants hoisted out of the dispatch loop at construction time;
+	// all are derived from the immutable chip configuration.
+	frontPJ    float64 // per-instruction front-end energy
+	latScalar  int64   // scalar ALU latency
+	latMem     int64   // local memory latency
+	bw         int64   // local memory bandwidth, bytes/cycle
+	lanes      int64   // vector lanes
+	vecDepth   int64   // vector pipeline depth
+	mvmOcc     int64   // CIM_MVM unit occupancy (bit-serial interval)
+	mvmLat     int64   // CIM_MVM completion latency
+	groupChans int     // output channels per macro group
+	macroRows  int32   // wordlines per macro
+
+	// rangeBuf is the reusable scoreboard-range scratch of the predecoded
+	// step functions (the legacy interpreter builds ad-hoc slices instead).
+	rangeBuf [4]memRange
+
 	// CIM unit state: per-macro-group weight matrices (rows x groupChans,
-	// row-major) and the unit-level shared accumulator fed by the
-	// inter-macro adder tree.
-	mg     [][]int8
+	// row-major INT8 values stored as raw bytes, so the MVM inner loop can
+	// load them a 64-bit word at a time) and the unit-level shared
+	// accumulator fed by the inter-macro adder tree.
+	mg     [][]byte
 	cimAcc []int32
 
 	// Timing state.
@@ -78,16 +104,27 @@ type core struct {
 func newCore(id int, chip *Chip) *core {
 	cfg := chip.cfg
 	groupChans := cfg.GroupChannels()
+	e := &cfg.Energy
 	c := &core{
-		id:     id,
-		chip:   chip,
-		local:  make([]byte, cfg.Core.LocalMemBytes),
-		mg:     make([][]int8, cfg.Core.NumMacroGroups),
-		cimAcc: make([]int32, groupChans),
-		gather: make([]byte, cfg.Unit.MacroRows),
+		id:         id,
+		chip:       chip,
+		local:      make([]byte, cfg.Core.LocalMemBytes),
+		mg:         make([][]byte, cfg.Core.NumMacroGroups),
+		cimAcc:     make([]int32, groupChans),
+		gather:     make([]byte, cfg.Unit.MacroRows),
+		frontPJ:    e.InstFetchPJ + e.RegFilePJ,
+		latScalar:  int64(cfg.Core.ScalarLatency),
+		latMem:     int64(cfg.Core.LocalMemLatency),
+		bw:         int64(cfg.Core.LocalMemBandwidth),
+		lanes:      int64(cfg.Core.VectorLanes),
+		vecDepth:   int64(cfg.Core.VectorPipelineDepth),
+		mvmOcc:     int64(cfg.MVMInterval()),
+		mvmLat:     int64(cfg.MVMLatency()),
+		groupChans: groupChans,
+		macroRows:  int32(cfg.Unit.MacroRows),
 	}
 	for i := range c.mg {
-		c.mg[i] = make([]int8, cfg.Unit.MacroRows*groupChans)
+		c.mg[i] = make([]byte, cfg.Unit.MacroRows*groupChans)
 	}
 	c.reset()
 	return c
@@ -278,7 +315,7 @@ func (c *core) step() (stepStatus, error) {
 		c.barrierID = in.Flags
 		c.time++
 		c.pc++
-		return stepBlocked, nil
+		return stepBarrier, nil
 	case isa.OpCimLoad:
 		if err := c.stepCimLoad(in); err != nil {
 			return stepOK, err
@@ -563,7 +600,7 @@ func (c *core) stepSend(in isa.Instruction) error {
 		return c.errf("%v", err)
 	}
 	issue := c.hazardIssue(isa.UnitTransfer, []uint8{in.RS, in.RT, in.RD}, []memRange{r})
-	payload := make([]byte, size)
+	payload := c.chip.getPayload(size)
 	copy(payload, c.local[src:src+size])
 	bw := int64(cfg.Core.LocalMemBandwidth)
 	inject := (int64(size)+bw-1)/bw + 1
@@ -606,6 +643,7 @@ func (c *core) stepRecv(in isa.Instruction) (stepStatus, error) {
 	}
 	c.chip.pop(src, c.id, tag)
 	copy(c.local[dst:], msg.payload)
+	c.chip.putPayload(msg.payload)
 	bw := int64(cfg.Core.LocalMemBandwidth)
 	occ := (int64(want)+bw-1)/bw + 1
 	c.stats.Energy.LocalMemPJ += float64(want) * cfg.Energy.LocalMemPJPerByte
@@ -643,7 +681,7 @@ func (c *core) stepCimLoad(in isa.Instruction) error {
 		base := (rowOff + row) * groupChans
 		srcBase := src + row*chans
 		for ch := int32(0); ch < chans; ch++ {
-			w[base+chanOff+ch] = int8(c.local[srcBase+ch])
+			w[base+chanOff+ch] = c.local[srcBase+ch]
 		}
 	}
 	bw := int64(cfg.Core.LocalMemBandwidth)
@@ -711,7 +749,7 @@ func (c *core) stepCimMVM(in isa.Instruction) error {
 		}
 		wRow := w[int(row)*groupChans : (int(row)+1)*groupChans]
 		for ch := 0; ch < groupChans; ch++ {
-			c.cimAcc[ch] += iv * int32(wRow[ch])
+			c.cimAcc[ch] += iv * int32(int8(wRow[ch]))
 		}
 	}
 	macs := int64(rows) * int64(groupChans)
@@ -771,37 +809,11 @@ func (c *core) stepCimMVM(in isa.Instruction) error {
 	return nil
 }
 
-// vecElemSizes returns the element byte sizes (a, b, d) of a vector funct;
-// b = 0 means the operand is a scalar register or unused.
-func vecElemSizes(fn uint8) (a, b, d int32, err error) {
-	switch fn {
-	case isa.VFnAdd8, isa.VFnMul8, isa.VFnMax8, isa.VFnMin8, isa.VFnQAdd8, isa.VFnQMul8:
-		return 1, 1, 1, nil
-	case isa.VFnMov8, isa.VFnRelu8, isa.VFnSigm8, isa.VFnSilu8:
-		return 1, 0, 1, nil
-	case isa.VFnRelu68, isa.VFnAddS8, isa.VFnMaxS8:
-		return 1, 0, 1, nil
-	case isa.VFnAdd32:
-		return 4, 4, 4, nil
-	case isa.VFnMac8:
-		return 1, 1, 4, nil
-	case isa.VFnAcc8:
-		return 1, 0, 4, nil
-	case isa.VFnQnt:
-		return 4, 0, 1, nil
-	case isa.VFnRSum8:
-		return 1, 0, 4, nil
-	case isa.VFnRSum32:
-		return 4, 0, 4, nil
-	case isa.VFnRMax8:
-		return 1, 0, 1, nil
-	}
-	return 0, 0, 0, fmt.Errorf("unknown vector funct %d", fn)
-}
+// vecElemSizes and isReduction are the legacy-interpreter aliases of the
+// canonical helpers, which moved to the isa package with the predecoder.
+func vecElemSizes(fn uint8) (a, b, d int32, err error) { return isa.VecElemSizes(fn) }
 
-func isReduction(fn uint8) bool {
-	return fn == isa.VFnRSum8 || fn == isa.VFnRSum32 || fn == isa.VFnRMax8
-}
+func isReduction(fn uint8) bool { return isa.VecIsReduction(fn) }
 
 // stepVector executes a memory-to-memory SIMD operation on the vector unit.
 func (c *core) stepVector(in isa.Instruction) error {

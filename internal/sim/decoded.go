@@ -1,0 +1,786 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math"
+
+	"cimflow/internal/isa"
+	"cimflow/internal/tensor"
+)
+
+// This file is the predecoded execution pipeline: one handler per
+// isa.Kind, dispatched through a flat table from stepDecoded. The handlers
+// are semantically bit-identical to the legacy step* family in core.go —
+// the differential equivalence suite asserts outputs, cycles, energy and
+// per-core stats match on every zoo model × strategy — but the steady-state
+// loop does no per-step decoding, no slice allocation (scoreboard ranges
+// live in core.rangeBuf, message payloads come from the chip's pool) and no
+// repeated configuration lookups (latency, bandwidth and energy constants
+// are hoisted onto the core at construction).
+
+// decHandler executes one predecoded micro-op.
+type decHandler func(*core, *isa.Decoded) (stepStatus, error)
+
+var decHandlers = [isa.NumKinds]decHandler{
+	isa.KindNOP:     decNOP,
+	isa.KindHALT:    decHALT,
+	isa.KindJMP:     decJMP,
+	isa.KindBranch:  decBranch,
+	isa.KindScALU:   decScALU,
+	isa.KindScALUI:  decScALUI,
+	isa.KindScLUI:   decScLUI,
+	isa.KindScMTS:   decScMTS,
+	isa.KindScMFS:   decScMFS,
+	isa.KindScMem:   decScMem,
+	isa.KindMemCpy:  decMemCpy,
+	isa.KindVFill:   decVFill,
+	isa.KindSend:    decSend,
+	isa.KindRecv:    decRecv,
+	isa.KindBarrier: decBarrier,
+	isa.KindCimLoad: decCimLoad,
+	isa.KindCimMVM:  decCimMVM,
+	isa.KindVec:     decVec,
+}
+
+// stepDecoded executes one predecoded micro-op. The chip scheduler
+// guarantees this core currently has the minimum local time.
+func (c *core) stepDecoded() (stepStatus, error) {
+	if c.pc >= len(c.prog) {
+		return stepHalted, c.errf("fell off the end of the program")
+	}
+	d := &c.prog[c.pc]
+	c.stats.Energy.FrontendPJ += c.frontPJ
+	c.stats.Instructions++
+	return decHandlers[d.Kind](c, d)
+}
+
+func decNOP(c *core, _ *isa.Decoded) (stepStatus, error) {
+	c.time++
+	c.pc++
+	return stepOK, nil
+}
+
+func decHALT(c *core, _ *isa.Decoded) (stepStatus, error) {
+	c.time++
+	c.stats.HaltCycle = c.time
+	c.halted = true
+	return stepHalted, nil
+}
+
+func decJMP(c *core, d *isa.Decoded) (stepStatus, error) {
+	c.time += 3 // resolve + 2-cycle fetch bubble
+	c.pc = int(d.Target)
+	return stepOK, nil
+}
+
+func decBranch(c *core, d *isa.Decoded) (stepStatus, error) {
+	issue := c.hazardIssue(isa.UnitControl, d.Srcs[:d.NSrc], nil)
+	a, b := c.reg(d.RS), c.reg(d.RT)
+	var taken bool
+	switch d.Funct {
+	case isa.BrEQ:
+		taken = a == b
+	case isa.BrNE:
+		taken = a != b
+	case isa.BrLT:
+		taken = a < b
+	case isa.BrGE:
+		taken = a >= b
+	}
+	if taken {
+		c.time = issue + 3
+		c.pc = int(d.Target)
+	} else {
+		c.time = issue + 1
+		c.pc++
+	}
+	return stepOK, nil
+}
+
+func decScALU(c *core, d *isa.Decoded) (stepStatus, error) {
+	c.stats.Energy.ScalarPJ += c.chip.cfg.Energy.ScalarOpPJ
+	issue := c.hazardIssue(isa.UnitScalar, d.Srcs[:d.NSrc], nil)
+	v, err := scalarALU(d.Funct, c.reg(d.RS), c.reg(d.RT))
+	if err != nil {
+		return stepOK, c.errf("%v", err)
+	}
+	c.setReg(d.RD, v, issue+c.latScalar)
+	c.retire(isa.UnitScalar, issue, 1, issue+c.latScalar, nil)
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decScALUI(c *core, d *isa.Decoded) (stepStatus, error) {
+	c.stats.Energy.ScalarPJ += c.chip.cfg.Energy.ScalarOpPJ
+	issue := c.hazardIssue(isa.UnitScalar, d.Srcs[:d.NSrc], nil)
+	v, err := scalarALU(d.Funct, c.reg(d.RS), d.Imm)
+	if err != nil {
+		return stepOK, c.errf("%v", err)
+	}
+	c.setReg(d.RT, v, issue+c.latScalar)
+	c.retire(isa.UnitScalar, issue, 1, issue+c.latScalar, nil)
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decScLUI(c *core, d *isa.Decoded) (stepStatus, error) {
+	c.stats.Energy.ScalarPJ += c.chip.cfg.Energy.ScalarOpPJ
+	issue := c.hazardIssue(isa.UnitScalar, nil, nil)
+	c.setReg(d.RT, d.Imm<<16, issue+c.latScalar)
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decScMTS(c *core, d *isa.Decoded) (stepStatus, error) {
+	c.stats.Energy.ScalarPJ += c.chip.cfg.Energy.ScalarOpPJ
+	issue := c.hazardIssue(isa.UnitScalar, d.Srcs[:d.NSrc], nil)
+	if d.WritesSReg {
+		c.sregs[d.Imm] = c.reg(d.RS)
+	}
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decScMFS(c *core, d *isa.Decoded) (stepStatus, error) {
+	c.stats.Energy.ScalarPJ += c.chip.cfg.Energy.ScalarOpPJ
+	issue := c.hazardIssue(isa.UnitScalar, nil, nil)
+	c.setReg(d.RT, c.sregs[d.Imm], issue+c.latScalar)
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decScMem(c *core, d *isa.Decoded) (stepStatus, error) {
+	addr := c.reg(d.RS) + d.Imm
+	size := d.MemSize
+	if addr >= GlobalBase {
+		issue := c.hazardIssue(isa.UnitScalar, d.Srcs[:d.NSrc], nil)
+		done := c.chip.mesh.MemAccess(c.id, int(size), issue)
+		g := addr - GlobalBase
+		if g < 0 || int(g)+int(size) > len(c.chip.global) {
+			return stepOK, c.errf("global access %d out of bounds", g)
+		}
+		if d.IsLoad {
+			var v int32
+			if size == 4 {
+				v = int32(binary.LittleEndian.Uint32(c.chip.global[g:]))
+			} else {
+				v = int32(int8(c.chip.global[g]))
+			}
+			c.setReg(d.RT, v, done)
+		} else {
+			if size == 4 {
+				binary.LittleEndian.PutUint32(c.chip.global[g:], uint32(c.reg(d.RT)))
+			} else {
+				c.chip.global[g] = byte(c.reg(d.RT))
+			}
+		}
+		c.retire(isa.UnitScalar, issue, 1, done, nil)
+		c.time = issue + 1
+		c.pc++
+		return stepOK, nil
+	}
+	r, err := c.localRange(addr, size)
+	if err != nil {
+		return stepOK, c.errf("%v", err)
+	}
+	c.rangeBuf[0] = r
+	issue := c.hazardIssue(isa.UnitScalar, d.Srcs[:d.NSrc], c.rangeBuf[:1])
+	c.stats.Energy.LocalMemPJ += float64(size) * c.chip.cfg.Energy.LocalMemPJPerByte
+	if d.IsLoad {
+		var v int32
+		if size == 4 {
+			v = int32(binary.LittleEndian.Uint32(c.local[addr:]))
+		} else {
+			v = int32(int8(c.local[addr]))
+		}
+		c.setReg(d.RT, v, issue+c.latMem)
+	} else {
+		if size == 4 {
+			binary.LittleEndian.PutUint32(c.local[addr:], uint32(c.reg(d.RT)))
+		} else {
+			c.local[addr] = byte(c.reg(d.RT))
+		}
+	}
+	c.retire(isa.UnitScalar, issue, 1, issue+c.latMem, c.rangeBuf[:1])
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decVFill(c *core, d *isa.Decoded) (stepStatus, error) {
+	size := c.reg(d.RT)
+	if size < 0 {
+		return stepOK, c.errf("negative transfer size %d", size)
+	}
+	dst := c.reg(d.RS)
+	r, err := c.localRange(dst, size)
+	if err != nil {
+		return stepOK, c.errf("%v", err)
+	}
+	c.rangeBuf[0] = r
+	issue := c.hazardIssue(isa.UnitTransfer, d.Srcs[:d.NSrc], c.rangeBuf[:1])
+	fill := byte(int8(d.Imm))
+	region := c.local[dst : dst+size]
+	for i := range region {
+		region[i] = fill
+	}
+	occ := c.latMem + (int64(size)+c.bw-1)/c.bw
+	c.stats.Energy.LocalMemPJ += float64(size) * c.chip.cfg.Energy.LocalMemPJPerByte
+	c.retire(isa.UnitTransfer, issue, occ, issue+occ, c.rangeBuf[:1])
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decMemCpy(c *core, d *isa.Decoded) (stepStatus, error) {
+	e := &c.chip.cfg.Energy
+	size := c.reg(d.RT)
+	if size < 0 {
+		return stepOK, c.errf("negative transfer size %d", size)
+	}
+	src := c.reg(d.RS)
+	dst := c.reg(d.RD) + d.Imm
+	srcGlobal, dstGlobal := src >= GlobalBase, dst >= GlobalBase
+	nr := 0
+	if !srcGlobal {
+		r, err := c.localRange(src, size)
+		if err != nil {
+			return stepOK, c.errf("%v", err)
+		}
+		c.rangeBuf[nr] = r
+		nr++
+	}
+	if !dstGlobal {
+		r, err := c.localRange(dst, size)
+		if err != nil {
+			return stepOK, c.errf("%v", err)
+		}
+		c.rangeBuf[nr] = r
+		nr++
+	}
+	ranges := c.rangeBuf[:nr]
+	issue := c.hazardIssue(isa.UnitTransfer, d.Srcs[:d.NSrc], ranges)
+
+	// Functional copy.
+	var data []byte
+	if srcGlobal {
+		g := src - GlobalBase
+		if g < 0 || int(g)+int(size) > len(c.chip.global) {
+			return stepOK, c.errf("global read [%d+%d) out of bounds", g, size)
+		}
+		data = c.chip.global[g : g+size]
+	} else {
+		data = c.local[src : src+size]
+	}
+	if dstGlobal {
+		g := dst - GlobalBase
+		if g < 0 || int(g)+int(size) > len(c.chip.global) {
+			return stepOK, c.errf("global write [%d+%d) out of bounds", g, size)
+		}
+		copy(c.chip.global[g:], data)
+	} else {
+		copy(c.local[dst:], data)
+	}
+
+	// Timing and energy.
+	var done int64
+	switch {
+	case srcGlobal || dstGlobal:
+		done = c.chip.mesh.MemAccess(c.id, int(size), issue)
+		c.stats.Energy.LocalMemPJ += float64(size) * e.LocalMemPJPerByte // local side
+	default:
+		done = issue + c.latMem + (int64(size)+c.bw-1)/c.bw
+		c.stats.Energy.LocalMemPJ += 2 * float64(size) * e.LocalMemPJPerByte
+	}
+	occ := done - issue
+	c.retire(isa.UnitTransfer, issue, occ, done, ranges)
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decSend(c *core, d *isa.Decoded) (stepStatus, error) {
+	src := c.reg(d.RS)
+	size := c.reg(d.RT)
+	dst := int(c.reg(d.RD))
+	if dst < 0 || dst >= len(c.chip.cores) {
+		return stepOK, c.errf("send to core %d out of range", dst)
+	}
+	r, err := c.localRange(src, size)
+	if err != nil {
+		return stepOK, c.errf("%v", err)
+	}
+	c.rangeBuf[0] = r
+	issue := c.hazardIssue(isa.UnitTransfer, d.Srcs[:d.NSrc], c.rangeBuf[:1])
+	payload := c.chip.getPayload(size)
+	copy(payload, c.local[src:src+size])
+	inject := (int64(size)+c.bw-1)/c.bw + 1
+	arrival := c.chip.mesh.Transfer(c.id, dst, int(size), issue+inject)
+	c.stats.Energy.LocalMemPJ += float64(size) * c.chip.cfg.Energy.LocalMemPJPerByte
+	c.chip.deliver(c.id, dst, d.Imm, payload, arrival)
+	c.retire(isa.UnitTransfer, issue, inject, issue+inject, c.rangeBuf[:1])
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decRecv(c *core, d *isa.Decoded) (stepStatus, error) {
+	src := int(c.reg(d.RD))
+	if src < 0 || src >= len(c.chip.cores) {
+		return stepOK, c.errf("recv from core %d out of range", src)
+	}
+	tag := d.Imm
+	msg, ok := c.chip.peek(src, c.id, tag)
+	if !ok {
+		c.blockSrc, c.blockTag = src, tag
+		return stepBlocked, nil
+	}
+	dst := c.reg(d.RS)
+	want := c.reg(d.RT)
+	if int(want) != len(msg.payload) {
+		return stepOK, c.errf("recv size %d != message size %d (src %d tag %d)", want, len(msg.payload), src, tag)
+	}
+	r, err := c.localRange(dst, want)
+	if err != nil {
+		return stepOK, c.errf("%v", err)
+	}
+	c.rangeBuf[0] = r
+	issue := c.hazardIssue(isa.UnitTransfer, d.Srcs[:d.NSrc], c.rangeBuf[:1])
+	if msg.arrival > issue {
+		c.stats.StallCycles += msg.arrival - issue
+		issue = msg.arrival
+	}
+	c.chip.pop(src, c.id, tag)
+	copy(c.local[dst:], msg.payload)
+	c.chip.putPayload(msg.payload)
+	occ := (int64(want)+c.bw-1)/c.bw + 1
+	c.stats.Energy.LocalMemPJ += float64(want) * c.chip.cfg.Energy.LocalMemPJPerByte
+	c.retire(isa.UnitTransfer, issue, occ, issue+occ, c.rangeBuf[:1])
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+func decBarrier(c *core, d *isa.Decoded) (stepStatus, error) {
+	c.barrierID = d.Flags
+	c.time++
+	c.pc++
+	return stepBarrier, nil
+}
+
+func decCimLoad(c *core, d *isa.Decoded) (stepStatus, error) {
+	cfg := c.chip.cfg
+	mgIdx := int(c.reg(d.RT))
+	rows := c.reg(d.RE)
+	chans := c.reg(d.RD)
+	src := c.reg(d.RS)
+	if mgIdx < 0 || mgIdx >= len(c.mg) {
+		return stepOK, c.errf("macro group %d out of range [0,%d)", mgIdx, len(c.mg))
+	}
+	groupChans := int32(c.groupChans)
+	rowOff := c.sregs[isa.SRegLoadRow]
+	chanOff := c.sregs[isa.SRegLoadChan]
+	if rows < 0 || chans < 0 || rowOff < 0 || chanOff < 0 ||
+		rowOff+rows > c.macroRows || chanOff+chans > groupChans {
+		return stepOK, c.errf("cim_load %dx%d at (%d,%d) exceeds macro group %dx%d",
+			rows, chans, rowOff, chanOff, c.macroRows, groupChans)
+	}
+	size := rows * chans
+	r, err := c.localRange(src, size)
+	if err != nil {
+		return stepOK, c.errf("%v", err)
+	}
+	c.rangeBuf[0] = r
+	issue := c.hazardIssue(isa.UnitCIM, d.Srcs[:d.NSrc], c.rangeBuf[:1])
+	w := c.mg[mgIdx]
+	for row := int32(0); row < rows; row++ {
+		base := (rowOff + row) * groupChans
+		srcBase := src + row*chans
+		copy(w[base+chanOff:base+chanOff+chans], c.local[srcBase:srcBase+chans])
+	}
+	occ := c.latMem + (int64(size)+c.bw-1)/c.bw
+	c.stats.Energy.CIMLoadPJ += float64(size) * cfg.Energy.CIMLoadPJPerByte
+	c.stats.Energy.LocalMemPJ += float64(size) * cfg.Energy.LocalMemPJPerByte
+	c.retire(isa.UnitCIM, issue, occ, issue+occ, c.rangeBuf[:1])
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+// decCimMVM is the hot path of every DNN simulation. Beyond the predecoded
+// flags it differs from the legacy interpreter in three measured-equivalent
+// ways: the gather copy is skipped when the input is one contiguous segment
+// (the MAC loop only reads it, so aliasing local memory is safe), the
+// accumulator clear is a memclr, and the MAC inner loop is shaped for
+// bounds-check elimination.
+func decCimMVM(c *core, d *isa.Decoded) (stepStatus, error) {
+	e := &c.chip.cfg.Energy
+	rows := c.reg(d.RT)
+	inAddr := c.reg(d.RS)
+	if rows <= 0 || rows > c.macroRows {
+		return stepOK, c.errf("mvm input length %d out of range (max %d)", rows, c.macroRows)
+	}
+	if int(d.MG) >= len(c.mg) {
+		return stepOK, c.errf("mvm targets macro group %d of %d", d.MG, len(c.mg))
+	}
+
+	// Gather input segments.
+	segCount := c.sregs[isa.SRegSegCount]
+	if segCount <= 0 || rows%segCount != 0 {
+		return stepOK, c.errf("mvm length %d not divisible into %d segments", rows, segCount)
+	}
+	var input []byte
+	nr := 0
+	if segCount == 1 {
+		r, err := c.localRange(inAddr, rows)
+		if err != nil {
+			return stepOK, c.errf("mvm segment 0: %v", err)
+		}
+		c.rangeBuf[nr] = r
+		nr++
+		input = c.local[inAddr : inAddr+rows]
+	} else {
+		segLen := rows / segCount
+		segStride := c.sregs[isa.SRegSegStride]
+		for s := int32(0); s < segCount; s++ {
+			base := inAddr + s*segStride
+			r, err := c.localRange(base, segLen)
+			if err != nil {
+				return stepOK, c.errf("mvm segment %d: %v", s, err)
+			}
+			if s == 0 || s == segCount-1 {
+				c.rangeBuf[nr] = r
+				nr++
+			}
+			copy(c.gather[s*segLen:], c.local[base:base+segLen])
+		}
+		input = c.gather[:rows]
+	}
+
+	// Accumulate into the unit accumulator. Quantized activations are
+	// mostly zero (post-ReLU resnet18 inputs measure ~77% zero rows), so
+	// zero rows skip their weight pass and runs of zeros are skipped a
+	// 64-bit word at a time.
+	groupChans := c.groupChans
+	if !d.Accumulate {
+		clear(c.cimAcc)
+	}
+	w := c.mg[d.MG]
+	acc := c.cimAcc
+	for row := 0; row < len(input); {
+		b := input[row]
+		if b == 0 {
+			if row+8 <= len(input) && binary.LittleEndian.Uint64(input[row:]) == 0 {
+				row += 8
+			} else {
+				row++
+			}
+			continue
+		}
+		iv := int32(int8(b))
+		base := row * groupChans
+		wRow := w[base : base+groupChans]
+		a := acc[:len(wRow)]
+		// Weights load eight INT8 channels per 64-bit word; with one
+		// accumulator load and store per channel the inner loop is
+		// load-port-bound, and halving the weight loads measurably raises
+		// simulated MACs/second.
+		ch := 0
+		for ; ch+8 <= len(wRow); ch += 8 {
+			word := binary.LittleEndian.Uint64(wRow[ch:])
+			a2 := a[ch : ch+8 : ch+8]
+			a2[0] += iv * int32(int8(word))
+			a2[1] += iv * int32(int8(word>>8))
+			a2[2] += iv * int32(int8(word>>16))
+			a2[3] += iv * int32(int8(word>>24))
+			a2[4] += iv * int32(int8(word>>32))
+			a2[5] += iv * int32(int8(word>>40))
+			a2[6] += iv * int32(int8(word>>48))
+			a2[7] += iv * int32(int8(word>>56))
+		}
+		for ; ch < len(wRow); ch++ {
+			a[ch] += iv * int32(int8(wRow[ch]))
+		}
+		row++
+	}
+	macs := int64(rows) * int64(groupChans)
+	c.stats.MACs += macs
+	c.stats.Energy.CIMComputePJ += float64(macs) * e.CIMMACpJ
+	c.stats.Energy.LocalMemPJ += float64(rows) * e.LocalMemPJPerByte
+
+	// Writeback.
+	var wbBytes int32
+	outAddr := c.reg(d.RE)
+	if d.Writeback || d.WriteRaw {
+		outChans := c.sregs[isa.SRegOutChans]
+		if outChans <= 0 || outChans > int32(groupChans) {
+			outChans = int32(groupChans)
+		}
+		elem := int32(1)
+		if d.WriteRaw {
+			elem = 4
+		}
+		wbBytes = outChans * elem
+		r, err := c.localRange(outAddr, wbBytes)
+		if err != nil {
+			return stepOK, c.errf("mvm writeback: %v", err)
+		}
+		c.rangeBuf[nr] = r
+		nr++
+		qmul := c.sregs[isa.SRegQuantMul]
+		qshift := uint(c.sregs[isa.SRegQuantShift]) & 31
+		for ch := int32(0); ch < outChans; ch++ {
+			sum := acc[ch]
+			if d.WriteRaw {
+				binary.LittleEndian.PutUint32(c.local[outAddr+ch*4:], uint32(sum))
+			} else {
+				v := tensor.Requant(sum, qmul, qshift)
+				if d.Relu && v < 0 {
+					v = 0
+				}
+				c.local[outAddr+ch] = byte(v)
+			}
+		}
+		c.stats.Energy.LocalMemPJ += float64(wbBytes) * e.LocalMemPJPerByte
+	}
+
+	ranges := c.rangeBuf[:nr]
+	issue := c.hazardIssue(isa.UnitCIM, d.Srcs[:d.NSrc], ranges)
+	// The unit is occupied for the bit-serial phases or the input streaming
+	// time, whichever dominates.
+	occ := c.mvmOcc
+	if stream := (int64(rows) + c.bw - 1) / c.bw; stream > occ {
+		occ = stream
+	}
+	done := issue + c.mvmLat + (int64(wbBytes)+c.bw-1)/c.bw
+	c.retire(isa.UnitCIM, issue, occ, done, ranges)
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+// decVec executes a memory-to-memory SIMD operation with the element sizes
+// and reduction flag resolved at predecode time and the per-element loops
+// written against local memory directly (no per-step closures).
+func decVec(c *core, d *isa.Decoded) (stepStatus, error) {
+	e := &c.chip.cfg.Energy
+	n := c.reg(d.RE)
+	if n < 0 {
+		return stepOK, c.errf("negative vector length %d", n)
+	}
+	sizeA, sizeB, sizeD := d.SizeA, d.SizeB, d.SizeD
+	strideA := c.sregs[isa.SRegVecStrideA]
+	strideB := c.sregs[isa.SRegVecStrideB]
+	strideD := c.sregs[isa.SRegVecStrideD]
+	aAddr, bAddr, dAddr := c.reg(d.RS), c.reg(d.RT), c.reg(d.RD)
+
+	dN := n
+	if d.Reduce {
+		dN = 1
+	}
+	nr := 0
+	rA, err := c.vecSpan(aAddr, strideA, sizeA, n)
+	if err != nil {
+		return stepOK, c.errf("vector src A: %v", err)
+	}
+	c.rangeBuf[nr] = rA
+	nr++
+	if sizeB != 0 {
+		rB, err := c.vecSpan(bAddr, strideB, sizeB, n)
+		if err != nil {
+			return stepOK, c.errf("vector src B: %v", err)
+		}
+		c.rangeBuf[nr] = rB
+		nr++
+	}
+	if dN > 0 {
+		var rD memRange
+		if d.Reduce {
+			rD, err = c.localRange(dAddr, sizeD)
+		} else {
+			rD, err = c.vecSpan(dAddr, strideD, sizeD, n)
+		}
+		if err != nil {
+			return stepOK, c.errf("vector dst: %v", err)
+		}
+		c.rangeBuf[nr] = rD
+		nr++
+	}
+	ranges := c.rangeBuf[:nr]
+	issue := c.hazardIssue(isa.UnitVector, d.Srcs[:d.NSrc], ranges)
+
+	local := c.local
+	qmul := c.sregs[isa.SRegQuantMul]
+	qshift := uint(c.sregs[isa.SRegQuantShift]) & 31
+	switch d.Funct {
+	case isa.VFnAdd8:
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			b := int32(int8(local[bAddr+i*strideB]))
+			local[dAddr+i*strideD] = byte(tensor.Sat8(a + b))
+		}
+	case isa.VFnMul8:
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			b := int32(int8(local[bAddr+i*strideB]))
+			local[dAddr+i*strideD] = byte(tensor.Sat8(a * b))
+		}
+	case isa.VFnMax8:
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			b := int32(int8(local[bAddr+i*strideB]))
+			if b > a {
+				a = b
+			}
+			local[dAddr+i*strideD] = byte(int8(a))
+		}
+	case isa.VFnMin8:
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			b := int32(int8(local[bAddr+i*strideB]))
+			if b < a {
+				a = b
+			}
+			local[dAddr+i*strideD] = byte(int8(a))
+		}
+	case isa.VFnMov8:
+		for i := int32(0); i < n; i++ {
+			local[dAddr+i*strideD] = local[aAddr+i*strideA]
+		}
+	case isa.VFnRelu8:
+		for i := int32(0); i < n; i++ {
+			v := int32(int8(local[aAddr+i*strideA]))
+			if v < 0 {
+				v = 0
+			}
+			local[dAddr+i*strideD] = byte(int8(v))
+		}
+	case isa.VFnRelu68:
+		q6 := c.reg(d.RT)
+		for i := int32(0); i < n; i++ {
+			v := int32(int8(local[aAddr+i*strideA]))
+			if v < 0 {
+				v = 0
+			} else if v > q6 {
+				v = q6
+			}
+			local[dAddr+i*strideD] = byte(int8(v))
+		}
+	case isa.VFnSigm8:
+		inS := math.Float32frombits(uint32(c.sregs[isa.SRegActInScale]))
+		outS := math.Float32frombits(uint32(c.sregs[isa.SRegActOutScale]))
+		for i := int32(0); i < n; i++ {
+			local[dAddr+i*strideD] = byte(tensor.Sigmoid8(int8(local[aAddr+i*strideA]), inS, outS))
+		}
+	case isa.VFnSilu8:
+		inS := math.Float32frombits(uint32(c.sregs[isa.SRegActInScale]))
+		outS := math.Float32frombits(uint32(c.sregs[isa.SRegActOutScale]))
+		for i := int32(0); i < n; i++ {
+			local[dAddr+i*strideD] = byte(tensor.SiLU8(int8(local[aAddr+i*strideA]), inS, outS))
+		}
+	case isa.VFnAddS8:
+		s := c.reg(d.RT)
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			local[dAddr+i*strideD] = byte(tensor.Sat8(a + s))
+		}
+	case isa.VFnMaxS8:
+		s := c.reg(d.RT)
+		for i := int32(0); i < n; i++ {
+			v := int32(int8(local[aAddr+i*strideA]))
+			if s > v {
+				v = s
+			}
+			local[dAddr+i*strideD] = byte(int8(v))
+		}
+	case isa.VFnQAdd8:
+		mA := c.sregs[isa.SRegQMulA]
+		mB := c.sregs[isa.SRegQMulB]
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			b := int32(int8(local[bAddr+i*strideB]))
+			local[dAddr+i*strideD] = byte(tensor.Sat8((a*mA + b*mB) >> qshift))
+		}
+	case isa.VFnQMul8:
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			b := int32(int8(local[bAddr+i*strideB]))
+			local[dAddr+i*strideD] = byte(tensor.Requant(a*b, qmul, qshift))
+		}
+	case isa.VFnAdd32:
+		for i := int32(0); i < n; i++ {
+			a := int32(binary.LittleEndian.Uint32(local[aAddr+i*strideA*4:]))
+			b := int32(binary.LittleEndian.Uint32(local[bAddr+i*strideB*4:]))
+			binary.LittleEndian.PutUint32(local[dAddr+i*strideD*4:], uint32(a+b))
+		}
+	case isa.VFnMac8:
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			b := int32(int8(local[bAddr+i*strideB]))
+			acc := int32(binary.LittleEndian.Uint32(local[dAddr+i*strideD*4:]))
+			binary.LittleEndian.PutUint32(local[dAddr+i*strideD*4:], uint32(acc+a*b))
+		}
+	case isa.VFnAcc8:
+		for i := int32(0); i < n; i++ {
+			a := int32(int8(local[aAddr+i*strideA]))
+			acc := int32(binary.LittleEndian.Uint32(local[dAddr+i*strideD*4:]))
+			binary.LittleEndian.PutUint32(local[dAddr+i*strideD*4:], uint32(acc+a))
+		}
+	case isa.VFnQnt:
+		for i := int32(0); i < n; i++ {
+			a := int32(binary.LittleEndian.Uint32(local[aAddr+i*strideA*4:]))
+			local[dAddr+i*strideD] = byte(tensor.Requant(a, qmul, qshift))
+		}
+	case isa.VFnRSum8:
+		var sum int32
+		for i := int32(0); i < n; i++ {
+			sum += int32(int8(local[aAddr+i*strideA]))
+		}
+		binary.LittleEndian.PutUint32(local[dAddr:], uint32(sum))
+	case isa.VFnRSum32:
+		var sum int32
+		for i := int32(0); i < n; i++ {
+			sum += int32(binary.LittleEndian.Uint32(local[aAddr+i*strideA*4:]))
+		}
+		binary.LittleEndian.PutUint32(local[dAddr:], uint32(sum))
+	case isa.VFnRMax8:
+		best := int32(-128)
+		for i := int32(0); i < n; i++ {
+			if v := int32(int8(local[aAddr+i*strideA])); v > best {
+				best = v
+			}
+		}
+		local[dAddr] = byte(int8(best))
+	}
+
+	occ := (int64(n) + c.lanes - 1) / c.lanes
+	if occ == 0 {
+		occ = 1
+	}
+	done := issue + occ + c.vecDepth
+	c.stats.Energy.VectorPJ += float64(n) * e.VectorOpPJ
+	bytes := int64(n) * int64(sizeA+sizeB+sizeD)
+	c.stats.Energy.LocalMemPJ += float64(bytes) * e.LocalMemPJPerByte
+	c.retire(isa.UnitVector, issue, occ, done, ranges)
+	c.time = issue + 1
+	c.pc++
+	return stepOK, nil
+}
+
+// vecSpan validates the local-memory window a strided n-element vector
+// operand touches (the predecoded twin of the legacy span closure).
+func (c *core) vecSpan(base, stride, size, n int32) (memRange, error) {
+	if n == 0 {
+		return memRange{base, base}, nil
+	}
+	lo, hi := base, base+((n-1)*stride+1)*size
+	if stride < 0 {
+		lo, hi = base+(n-1)*stride*size, base+size
+	}
+	return c.localRange(lo, hi-lo)
+}

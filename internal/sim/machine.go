@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -25,6 +24,12 @@ import (
 type Program struct {
 	Core int
 	Code []isa.Instruction
+	// Decoded optionally carries the predecoded micro-op form of Code
+	// (isa.Predecode). The compiler attaches it at compile time so every
+	// chip built from the same artifact shares one immutable decoded
+	// program; when absent (or out of sync with Code), LoadProgram
+	// predecodes on the spot.
+	Decoded []isa.Decoded
 }
 
 // GlobalSegment initializes a region of global memory before execution.
@@ -44,15 +49,98 @@ type msgKey struct {
 	tag      int32
 }
 
+// msgQueue is one (src, dst, tag) mailbox slot: a slice-backed FIFO whose
+// drained entries are cleared (so delivered payload buffers are not pinned
+// by the backing array) and whose storage is recycled once empty, keeping
+// the steady-state messaging path allocation-free after warm-up.
+type msgQueue struct {
+	msgs []message
+	head int
+}
+
+// codeHash is an FNV-1a digest over an instruction stream's contents. Run
+// compares it against the hash recorded when the core's program was
+// predecoded, so code swapped or mutated in place behind LoadProgram's
+// back (white-box tests do both) is re-predecoded instead of silently
+// executing stale micro-ops. One pass over at most a few thousand
+// instructions per Run is noise next to the simulation itself.
+func codeHash(code []isa.Instruction) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := range code {
+		in := &code[i]
+		h = (h ^ (uint64(in.Op) | uint64(in.Funct)<<8 | uint64(in.RS)<<16 | uint64(in.RT)<<24 |
+			uint64(in.RE)<<32 | uint64(in.RD)<<40 | uint64(in.Flags)<<48)) * prime
+		h = (h ^ uint64(uint32(in.Imm))) * prime
+	}
+	return h
+}
+
+func (q *msgQueue) empty() bool { return q.head >= len(q.msgs) }
+
+func (q *msgQueue) push(m message) { q.msgs = append(q.msgs, m) }
+
+func (q *msgQueue) pop() message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = message{} // clear the drained entry
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// maxPooledPayloads bounds the chip's payload free-list so a burst does not
+// pin its peak buffer count forever; the steady-state working set of a
+// streaming simulation is far below this.
+const maxPooledPayloads = 256
+
+// getPayload returns a payload buffer of the given size, reusing a pooled
+// buffer when one is large enough. Only the last few entries are scanned so
+// the lookup stays O(1); steady-state traffic repeats the same sizes and
+// hits immediately.
+func (ch *Chip) getPayload(n int32) []byte {
+	p := ch.payloads
+	lo := len(p) - 8
+	if lo < 0 {
+		lo = 0
+	}
+	for i := len(p) - 1; i >= lo; i-- {
+		if int32(cap(p[i])) >= n {
+			b := p[i][:n]
+			p[i] = p[len(p)-1]
+			ch.payloads = p[:len(p)-1]
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// putPayload recycles a delivered payload buffer.
+func (ch *Chip) putPayload(b []byte) {
+	if b == nil || len(ch.payloads) >= maxPooledPayloads {
+		return
+	}
+	ch.payloads = append(ch.payloads, b)
+}
+
 // Chip is one simulation instance.
 type Chip struct {
 	cfg    *arch.Config
 	mesh   *noc.Mesh
 	global []byte
 	cores  []*core
+	// legacy selects the original instruction-at-a-time interpreter over
+	// the predecoded dispatch loop (see WithLegacyInterpreter).
+	legacy bool
 
-	mailbox map[msgKey][]message
-	ready   coreHeap
+	mailbox map[msgKey]*msgQueue
+	// payloads is the free-list delivered message buffers are recycled
+	// through; it survives Reset so pooled sessions stop allocating once
+	// the first inference has warmed it.
+	payloads [][]byte
+	ready    coreHeap
 	// barrier bookkeeping: arrivals for the currently forming barrier.
 	barrierWait  []*core
 	barrierMax   int64
@@ -66,8 +154,21 @@ type Chip struct {
 	Trace func(coreID, pc int, in isa.Instruction, time int64)
 }
 
+// ChipOption configures a Chip at construction time.
+type ChipOption func(*Chip)
+
+// WithLegacyInterpreter selects the original instruction-at-a-time
+// interpreter (nested opcode switches, per-step re-validation) instead of
+// the predecoded micro-op dispatch loop. The two execute bit-identically —
+// the differential equivalence suite asserts outputs, cycles, energy and
+// per-core stats match on every zoo model — so this exists as the reference
+// escape hatch for that proof, not as a user-facing mode.
+func WithLegacyInterpreter() ChipOption {
+	return func(ch *Chip) { ch.legacy = true }
+}
+
 // NewChip builds a chip with zeroed global memory and idle cores.
-func NewChip(cfg *arch.Config) (*Chip, error) {
+func NewChip(cfg *arch.Config, opts ...ChipOption) (*Chip, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -78,8 +179,13 @@ func NewChip(cfg *arch.Config) (*Chip, error) {
 		cfg:     cfg,
 		mesh:    noc.New(cfg),
 		global:  make([]byte, cfg.Chip.GlobalMemBytes),
-		mailbox: make(map[msgKey][]message),
+		mailbox: make(map[msgKey]*msgQueue, 64),
+		ready:   make(coreHeap, 0, cfg.NumCores()),
 	}
+	for _, opt := range opts {
+		opt(ch)
+	}
+	ch.cores = make([]*core, 0, cfg.NumCores())
 	for i := 0; i < cfg.NumCores(); i++ {
 		ch.cores = append(ch.cores, newCore(i, ch))
 	}
@@ -87,7 +193,13 @@ func NewChip(cfg *arch.Config) (*Chip, error) {
 }
 
 // LoadProgram installs a core's instruction stream, checking it fits the
-// instruction memory.
+// instruction memory. Unless the chip runs the legacy interpreter the
+// stream is lowered to its predecoded micro-op form here, so illegal
+// encodings fail at load time instead of mid-simulation. A caller-supplied
+// p.Decoded is trusted to be isa.Predecode(p.Code) — the compiler attaches
+// exactly that, letting every chip built from one artifact share one
+// immutable decoded program — and is ignored when its length does not
+// match.
 func (ch *Chip) LoadProgram(p Program) error {
 	if p.Core < 0 || p.Core >= len(ch.cores) {
 		return fmt.Errorf("sim: program for core %d out of range", p.Core)
@@ -96,7 +208,21 @@ func (ch *Chip) LoadProgram(p Program) error {
 		return fmt.Errorf("sim: core %d program is %d bytes, instruction memory holds %d",
 			p.Core, size, ch.cfg.Core.InstMemBytes)
 	}
-	ch.cores[p.Core].code = p.Code
+	c := ch.cores[p.Core]
+	c.code = p.Code
+	c.prog = nil
+	if !ch.legacy {
+		dec := p.Decoded
+		if len(dec) != len(p.Code) {
+			var err error
+			dec, err = isa.Predecode(p.Code)
+			if err != nil {
+				return fmt.Errorf("sim: core %d: %w", p.Core, err)
+			}
+		}
+		c.prog = dec
+	}
+	c.progHash = codeHash(p.Code)
 	return nil
 }
 
@@ -141,7 +267,17 @@ func (ch *Chip) ZeroGlobal(addr, size int) error {
 // inferences after a single weight load; callers refresh the input and
 // activation regions (ZeroGlobal + InitGlobal) before the next Run.
 func (ch *Chip) Reset() {
-	clear(ch.mailbox)
+	// Keep the mailbox keys and queue storage: recycling them (plus the
+	// payload free-list) is what makes pooled re-runs allocation-free in
+	// steady state. Undelivered payloads go back to the pool.
+	for _, q := range ch.mailbox {
+		for i := q.head; i < len(q.msgs); i++ {
+			ch.putPayload(q.msgs[i].payload)
+			q.msgs[i] = message{}
+		}
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
 	ch.ready = ch.ready[:0]
 	ch.barrierWait = ch.barrierWait[:0]
 	ch.barrierMax = 0
@@ -180,7 +316,12 @@ func (ch *Chip) ReadLocal(coreID, addr, size int) ([]byte, error) {
 // deliver enqueues a message and wakes a receiver blocked on it.
 func (ch *Chip) deliver(src, dst int, tag int32, payload []byte, arrival int64) {
 	k := msgKey{src, dst, tag}
-	ch.mailbox[k] = append(ch.mailbox[k], message{payload, arrival})
+	q := ch.mailbox[k]
+	if q == nil {
+		q = &msgQueue{}
+		ch.mailbox[k] = q
+	}
+	q.push(message{payload, arrival})
 	rx := ch.cores[dst]
 	if rx.blockSrc == src && rx.blockTag == tag && rx.blocked {
 		rx.blocked = false
@@ -194,38 +335,73 @@ func (ch *Chip) deliver(src, dst int, tag int32, payload []byte, arrival int64) 
 // peek returns the oldest matching message without removing it.
 func (ch *Chip) peek(src, dst int, tag int32) (message, bool) {
 	q := ch.mailbox[msgKey{src, dst, tag}]
-	if len(q) == 0 {
+	if q == nil || q.empty() {
 		return message{}, false
 	}
-	return q[0], true
+	return q.msgs[q.head], true
 }
 
-// pop removes the oldest matching message.
-func (ch *Chip) pop(src, dst int, tag int32) {
-	k := msgKey{src, dst, tag}
-	q := ch.mailbox[k]
-	if len(q) == 1 {
-		delete(ch.mailbox, k)
-	} else {
-		ch.mailbox[k] = q[1:]
-	}
+// pop removes the oldest matching message, clearing the drained slot. The
+// caller owns the returned payload and recycles it via putPayload once the
+// contents have been copied out.
+func (ch *Chip) pop(src, dst int, tag int32) message {
+	return ch.mailbox[msgKey{src, dst, tag}].pop()
 }
 
-// coreHeap orders runnable cores by (time, id).
+// coreHeap is a binary min-heap of runnable cores ordered by (time, id) —
+// the conservative discrete-event schedule. It is hand-rolled rather than
+// container/heap so the scheduler's per-step sift operations compare cores
+// directly instead of going through interface dispatch.
 type coreHeap []*core
 
-func (h coreHeap) Len() int { return len(h) }
-func (h coreHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// before reports whether core a is scheduled ahead of core b.
+func before(a, b *core) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].id < h[j].id
+	return a.id < b.id
 }
-func (h coreHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x any)    { *h = append(*h, x.(*core)) }
-func (h *coreHeap) Pop() any      { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
-func (h *coreHeap) push(c *core)  { heap.Push(h, c) }
-func (h *coreHeap) popMin() *core { return heap.Pop(h).(*core) }
+
+func (h *coreHeap) push(c *core) {
+	q := append(*h, c)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *coreHeap) popMin() *core {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && before(q[l], q[least]) {
+			least = l
+		}
+		if r < n && before(q[r], q[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
+}
 
 // ctxCheckSteps is how many scheduler steps pass between context polls in
 // Run. Each step executes at most one instruction, so at simulator speeds
@@ -247,52 +423,81 @@ func (ch *Chip) Run(ctx context.Context) (*Stats, error) {
 	ch.ready = ch.ready[:0]
 	for _, c := range ch.cores {
 		if len(c.code) > 0 {
+			// Predecode programs installed or mutated behind LoadProgram's
+			// back (tests poke instruction streams into cores directly):
+			// the content hash catches swapped and edited-in-place code
+			// alike.
+			if !ch.legacy {
+				if h := codeHash(c.code); len(c.prog) != len(c.code) || h != c.progHash {
+					dec, err := isa.Predecode(c.code)
+					if err != nil {
+						return nil, fmt.Errorf("sim: core %d: %w", c.id, err)
+					}
+					c.prog = dec
+					c.progHash = h
+				}
+			}
 			ch.ready.push(c)
 		} else {
 			c.halted = true
 		}
 	}
-	heap.Init(&ch.ready)
 	active := len(ch.ready)
 	if active == 0 {
 		return nil, fmt.Errorf("sim: no programs loaded")
 	}
 
+	legacy := ch.legacy
 	var steps uint64
 	for len(ch.ready) > 0 {
-		steps++
-		if steps%ctxCheckSteps == 0 {
-			if err := ctx.Err(); err != nil {
-				c := ch.ready[0]
-				return nil, fmt.Errorf("sim: aborted at cycle %d: %w", c.time, err)
-			}
-		}
 		c := ch.ready.popMin()
-		if c.time > limit {
-			return nil, fmt.Errorf("sim: core %d exceeded the cycle limit %d at pc %d", c.id, limit, c.pc)
-		}
-		if ch.Trace != nil && c.pc < len(c.code) {
-			ch.Trace(c.id, c.pc, c.code[c.pc], c.time)
-		}
-		st, err := c.step()
-		if err != nil {
-			return nil, err
-		}
-		switch st {
-		case stepOK:
-			ch.ready.push(c)
-		case stepBlocked:
-			// Distinguish barrier (pc already advanced past BARRIER) from
-			// recv (pc still at the RECV instruction).
-			if c.pc > 0 && c.code[c.pc-1].Op == isa.OpBarrier {
+	run:
+		// Keep stepping the popped core for as long as it remains the
+		// schedule minimum — during serialized phases (one runnable core,
+		// the rest blocked on RECV) this bypasses the heap entirely. The
+		// instruction order is identical to pop-push scheduling: the loop
+		// only continues when popMin would have returned this core again.
+		for {
+			steps++
+			if steps%ctxCheckSteps == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: aborted at cycle %d: %w", c.time, err)
+				}
+			}
+			if c.time > limit {
+				return nil, fmt.Errorf("sim: core %d exceeded the cycle limit %d at pc %d", c.id, limit, c.pc)
+			}
+			if ch.Trace != nil && c.pc < len(c.code) {
+				ch.Trace(c.id, c.pc, c.code[c.pc], c.time)
+			}
+			var st stepStatus
+			var err error
+			if legacy {
+				st, err = c.step()
+			} else {
+				st, err = c.stepDecoded()
+			}
+			if err != nil {
+				return nil, err
+			}
+			switch st {
+			case stepOK:
+				if len(ch.ready) > 0 && before(ch.ready[0], c) {
+					ch.ready.push(c)
+					break run
+				}
+			case stepBlocked:
+				c.blocked = true
+				break run
+			case stepBarrier:
 				if err := ch.arriveBarrier(c); err != nil {
 					return nil, err
 				}
-			} else {
-				c.blocked = true
+				break run
+			case stepHalted:
+				// Core finished; it stays out of the heap.
+				break run
 			}
-		case stepHalted:
-			// Core finished; it stays out of the heap.
 		}
 	}
 
