@@ -60,6 +60,14 @@ type (
 	Compiled = compiler.Compiled
 	// Plan is the CG-level partitioning and mapping decision.
 	Plan = compiler.Plan
+	// CompileContext is a graph's reusable compiler frontend: condensation
+	// and linearization run once, then Compile lowers the graph for any
+	// architecture and strategy with memoized planning. Engines and sweeps
+	// manage contexts automatically (keyed on the graph fingerprint);
+	// NewCompileContext is for callers driving the compiler directly.
+	CompileContext = compiler.CompileContext
+	// CompileOptions configures a direct CompileContext.Compile call.
+	CompileOptions = compiler.Options
 	// Options is the legacy flat run configuration.
 	//
 	// Deprecated: use the functional options (WithStrategy, WithSeed,
@@ -101,9 +109,20 @@ func ModelNames() []string { return model.ZooNames() }
 func NewGraph(name string, input Shape) (*Graph, int) { return model.NewGraph(name, input) }
 
 // Compile lowers a model onto an architecture, returning the per-core
-// CIMFlow ISA programs and the partitioning/mapping plan.
+// CIMFlow ISA programs and the partitioning/mapping plan. One-shot; to
+// compile the same model repeatedly (several strategies or architecture
+// points), build a CompileContext once and call its Compile.
 func Compile(g *Graph, cfg Config, strategy Strategy) (*Compiled, error) {
 	return compiler.Compile(g, &cfg, compiler.Options{Strategy: strategy})
+}
+
+// NewCompileContext runs the compiler frontend (validation, condensation,
+// linearization) once for a graph and returns the reusable context the
+// staged pipeline compiles from. The context is safe for concurrent use
+// and memoizes planning per architecture; artifacts are byte-identical to
+// one-shot Compile calls.
+func NewCompileContext(g *Graph) (*CompileContext, error) {
+	return compiler.NewContext(g)
 }
 
 // Run compiles and simulates a model with deterministic synthetic weights,

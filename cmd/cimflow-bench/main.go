@@ -9,10 +9,14 @@
 //	                                 # for dashboards; timing goes to stderr
 //
 // Figures run on the DSE engine's worker pool (-j controls parallelism;
-// rows are deterministic at any setting) and share one compile cache, so
-// Fig. 7 reuses every generic-strategy artifact Fig. 6 already compiled.
-// Each figure prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the measured-vs-paper comparison.
+// simulated rows are deterministic at any setting) and share one compile
+// cache, so Fig. 7 reuses every generic-strategy artifact Fig. 6 already
+// compiled. Every row carries compile_ms and sim_ms columns — in all three
+// formats — splitting its wall-clock cost between the compiler and the
+// simulator, so compile-bound rows (e.g. dp on MobileNet-class graphs) are
+// visible in the perf trajectory instead of inferred. Each figure prints
+// the same rows/series the paper reports; see EXPERIMENTS.md for the
+// measured-vs-paper comparison.
 package main
 
 import (

@@ -83,7 +83,10 @@ func WithCompileCache(c *CompileCache) Option {
 // once — reusing the DSE fingerprint cache, so sweeps and serving share
 // artifacts — and Sessions pool pre-initialized chips (weights staged
 // once, activation state reset between runs) for compile-once/infer-many
-// workloads. An Engine is safe for concurrent use.
+// workloads. Compilation is context-aware: the cache keys on the graph's
+// frontend artifact, so all strategies and option variants of one model
+// share a single CompileContext and recompile only the planning and
+// codegen stages. An Engine is safe for concurrent use.
 type Engine struct {
 	cfg      Config
 	defaults settings
@@ -150,6 +153,12 @@ func (e *Engine) CompileCalls() int64 { return e.cache.CompileCalls() }
 
 // CacheHits reports how many compilations were served from the cache.
 func (e *Engine) CacheHits() int64 { return e.cache.Hits() }
+
+// CompileContexts reports how many distinct graph frontends the engine's
+// compile cache holds: compilations are keyed on the frontend artifact, so
+// every strategy or option variant of one model shares a single
+// CompileContext (condensation once, planning memoized per architecture).
+func (e *Engine) CompileContexts() int { return e.cache.Contexts() }
 
 // PooledChips sums the idle pre-initialized chips held across all of the
 // engine's live sessions — the engine-level pool introspection a serving

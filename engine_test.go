@@ -253,3 +253,55 @@ func TestEngineRejectsBadConfig(t *testing.T) {
 		t.Error("NewEngine accepted an invalid architecture")
 	}
 }
+
+// TestEngineSharesCompileContexts: sessions for every strategy of one
+// model perform three compilations but share a single compiler frontend
+// (CompileContext), keyed on the graph's structural fingerprint.
+func TestEngineSharesCompileContexts(t *testing.T) {
+	engine, err := cimflow.NewEngine(cimflow.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cimflow.LookupModel("tinyresnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []cimflow.Strategy{cimflow.StrategyGeneric, cimflow.StrategyDuplication, cimflow.StrategyDP} {
+		if _, err := engine.Session(g, cimflow.WithStrategy(s)); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+	if got := engine.CompileCalls(); got != 3 {
+		t.Errorf("CompileCalls = %d, want 3", got)
+	}
+	if got := engine.CompileContexts(); got != 1 {
+		t.Errorf("CompileContexts = %d, want 1 (one graph)", got)
+	}
+	// A structurally identical copy of the graph maps to the same context.
+	copyG, _ := cimflow.LookupModel("tinyresnet")
+	if _, err := engine.Session(copyG, cimflow.WithStrategy(cimflow.StrategyDP), cimflow.WithSeed(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.CompileContexts(); got != 1 {
+		t.Errorf("CompileContexts after re-lookup = %d, want 1", got)
+	}
+	// NewCompileContext drives the staged pipeline directly and matches
+	// the engine's artifact.
+	cx, err := cimflow.NewCompileContext(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cimflow.DefaultConfig()
+	direct, err := cx.Compile(&cfg, cimflow.CompileOptions{Strategy: cimflow.StrategyDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := cimflow.Compile(g, cfg, cimflow.StrategyDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.InstructionCount() != oneShot.InstructionCount() || direct.GlobalBytes() != oneShot.GlobalBytes() {
+		t.Errorf("context compile diverges from one-shot: %d/%d instructions, %d/%d global bytes",
+			direct.InstructionCount(), oneShot.InstructionCount(), direct.GlobalBytes(), oneShot.GlobalBytes())
+	}
+}

@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cimflow/internal/arch"
 	"cimflow/internal/ir"
@@ -32,7 +33,6 @@ type coregen struct {
 	pool     *pool
 	arenaTop int32 // next free byte, growing down from local memory top
 	arenaMin int32 // low-water mark across ops
-	used     bool
 }
 
 func (cg *coregen) arenaAlloc(size int32) int32 {
@@ -54,24 +54,41 @@ func (gen *generator) resolve(id int) int {
 	return id
 }
 
-// Compile runs the full flow: CG-level partitioning and mapping, then
-// OP-level lowering and code generation, producing runnable per-core
-// programs.
+// Compile runs the full staged flow — frontend, planning, codegen — for a
+// graph in one shot. Callers compiling a graph more than once (sweeps,
+// engines, serving) should hold a CompileContext and call its Compile,
+// which reuses the frontend artifact and the planning caches.
 func Compile(g *model.Graph, cfg *arch.Config, opt Options) (*Compiled, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	plan, err := Partition(g, cfg, opt)
+	cx, err := NewContext(g)
 	if err != nil {
 		return nil, err
 	}
-	layout := buildLayout(g, cfg, plan)
+	return cx.Compile(cfg, opt)
+}
+
+// Compile lowers the context's graph onto an architecture: the planning
+// stage produces the CG-level plan (memoized per architecture), then the
+// codegen stage emits every core's instruction stream on an independent
+// worker (Options.CodegenWorkers, default GOMAXPROCS) and merges the
+// programs deterministically — the artifact is byte-identical at any
+// worker count.
+func (cx *CompileContext) Compile(cfg *arch.Config, opt Options) (*Compiled, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cm := cx.planner(cfg)
+	plan, err := cx.partitionWith(cm, opt)
+	if err != nil {
+		return nil, err
+	}
+	g := cx.g
+	layout := buildLayout(g, cfg, plan, cm.geoms)
 	gen := &generator{
 		g:           g,
 		cfg:         cfg,
 		plan:        plan,
 		layout:      layout,
-		geoms:       map[int]mvmGeom{},
+		geoms:       cm.geoms,
 		consumersOf: map[int][]edge{},
 		fullLimit:   opt.FullBufferLimit,
 	}
@@ -80,9 +97,6 @@ func Compile(g *model.Graph, cfg *arch.Config, opt Options) (*Compiled, error) {
 	}
 	for _, st := range plan.Stages {
 		for _, op := range st.Ops {
-			if op.Node.Op == model.OpConv || op.Node.Op == model.OpDense {
-				gen.geoms[op.Node.ID] = geometry(g, cfg, op.Node)
-			}
 			for idx := range op.Node.Inputs {
 				src := gen.resolve(op.Node.Inputs[idx])
 				if src == 0 {
@@ -103,20 +117,15 @@ func Compile(g *model.Graph, cfg *arch.Config, opt Options) (*Compiled, error) {
 		})
 	}
 
-	for _, st := range plan.Stages {
-		for _, op := range st.Ops {
-			for rI := range op.Replicas {
-				for sI := range op.Replicas[rI].Shards {
-					if err := gen.emitOp(st, op, rI, sI); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
-		for _, cg := range gen.cores {
-			cg.e.emit(isa.Barrier(uint16(st.ID)))
-			cg.e.invalidateSRegs()
-		}
+	// Codegen stage, part 1: emit every core's body. Per-core state
+	// (emitter, register pool, constant pool, arena) is fully isolated and
+	// the plan/layout/geometry inputs are read-only, so cores emit on
+	// independent workers; each worker walks the plan in the same nested
+	// order the sequential path uses, so a core's stream does not depend on
+	// the worker count.
+	workers := codegenWorkers(opt, len(gen.cores))
+	if err := forEachCore(len(gen.cores), workers, gen.emitCore); err != nil {
+		return nil, err
 	}
 
 	c := &Compiled{
@@ -127,17 +136,35 @@ func Compile(g *model.Graph, cfg *arch.Config, opt Options) (*Compiled, error) {
 		geoms:      gen.geoms,
 		OutputNode: gen.resolve(g.Output()),
 	}
-	// Finalize per-core programs: prelude (constant pool copy) + body + halt.
+	// Codegen stage, part 2 (serial): deterministic merge bookkeeping in
+	// core-id order — emission error checks, the constant-pool global
+	// addresses (layout.alloc is order-dependent) and the local-memory
+	// overflow check.
 	for id, cg := range gen.cores {
 		if cg.e.err != nil {
 			return nil, fmt.Errorf("core %d: %w", id, cg.e.err)
 		}
 		cg.e.emit(isa.Halt())
-		var code []isa.Instruction
 		if cg.pool.size() > 0 {
 			base := layout.alloc(cg.pool.size())
 			layout.poolAddr[id] = base
 			c.poolSegs = append(c.poolSegs, sim.GlobalSegment{Addr: int(base), Data: cg.pool.data})
+		} else {
+			layout.poolAddr[id] = -1
+		}
+		if cg.pool.size() > cg.arenaMin {
+			return nil, fmt.Errorf("compiler: core %d local memory overflow: pool %d bytes, arena reaches down to %d",
+				id, cg.pool.size(), cg.arenaMin)
+		}
+	}
+	// Codegen stage, part 3: per-core finalization — prelude (constant
+	// pool copy) + body + halt, late IR optimizations and predecoding —
+	// is independent again, so it runs on the same worker pool.
+	programs := make([]sim.Program, len(gen.cores))
+	if err := forEachCore(len(gen.cores), workers, func(id int) error {
+		cg := gen.cores[id]
+		var code []isa.Instruction
+		if base := layout.poolAddr[id]; base >= 0 {
 			pre := newEmitter()
 			src := pre.constReg(sim.GlobalBase + base)
 			dst := pre.constReg(0)
@@ -145,21 +172,16 @@ func Compile(g *model.Graph, cfg *arch.Config, opt Options) (*Compiled, error) {
 			pre.emit(isa.MemCpy(dst, src, sz, 0))
 			code = append(pre.code, cg.e.code...)
 		} else {
-			layout.poolAddr[id] = -1
 			code = cg.e.code
-		}
-		if cg.pool.size() > cg.arenaMin {
-			return nil, fmt.Errorf("compiler: core %d local memory overflow: pool %d bytes, arena reaches down to %d",
-				id, cg.pool.size(), cg.arenaMin)
 		}
 		// Conventional late optimizations: dead-write elimination, trivial
 		// moves, NOP compaction with branch retargeting.
 		code, _, err := ir.Optimize(code)
 		if err != nil {
-			return nil, fmt.Errorf("compiler: core %d: %w", id, err)
+			return fmt.Errorf("compiler: core %d: %w", id, err)
 		}
 		if len(code)*4 > cfg.Core.InstMemBytes {
-			return nil, fmt.Errorf("compiler: core %d program %d instructions exceeds instruction memory", id, len(code))
+			return fmt.Errorf("compiler: core %d program %d instructions exceeds instruction memory", id, len(code))
 		}
 		// Lower to the predecoded micro-op form once per artifact: every
 		// chip (session pool, DSE sweep worker) shares the immutable
@@ -167,11 +189,78 @@ func Compile(g *model.Graph, cfg *arch.Config, opt Options) (*Compiled, error) {
 		// instead of mid-simulation faults.
 		dec, err := isa.Predecode(code)
 		if err != nil {
-			return nil, fmt.Errorf("compiler: core %d: %w", id, err)
+			return fmt.Errorf("compiler: core %d: %w", id, err)
 		}
-		c.Programs = append(c.Programs, sim.Program{Core: id, Code: code, Decoded: dec})
+		programs[id] = sim.Program{Core: id, Code: code, Decoded: dec}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	c.Programs = programs
 	return c, nil
+}
+
+// emitCore emits one core's instruction body: every (op, replica, shard)
+// instance the plan places on the core, in plan order, with a barrier per
+// stage — exactly the subsequence the monolithic single-pass generator
+// emitted for the core.
+func (gen *generator) emitCore(core int) error {
+	cg := gen.cores[core]
+	for _, st := range gen.plan.Stages {
+		for _, op := range st.Ops {
+			for rI := range op.Replicas {
+				for sI := range op.Replicas[rI].Shards {
+					if op.Replicas[rI].Shards[sI].Core != core {
+						continue
+					}
+					if err := gen.emitOp(st, op, rI, sI); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		cg.e.emit(isa.Barrier(uint16(st.ID)))
+		cg.e.invalidateSRegs()
+	}
+	return nil
+}
+
+// forEachCore runs fn for every core id on a bounded worker pool (workers
+// <= 1 runs inline). All cores are attempted; the error reported is the
+// lowest-core-id failure, keeping diagnostics deterministic under
+// parallelism.
+func forEachCore(numCores, workers int, fn func(core int) error) error {
+	if workers <= 1 {
+		for id := 0; id < numCores; id++ {
+			if err := fn(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, numCores)
+	ids := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ids {
+				errs[id] = fn(id)
+			}
+		}()
+	}
+	for id := 0; id < numCores; id++ {
+		ids <- id
+	}
+	close(ids)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emitOp lowers one (op, replica, shard) instance onto its core.
@@ -179,7 +268,6 @@ func (gen *generator) emitOp(st *Stage, op *OpPlan, rI, sI int) error {
 	rep := op.Replicas[rI]
 	sh := rep.Shards[sI]
 	cg := gen.cores[sh.Core]
-	cg.used = true
 	e := cg.e
 	e.invalidateSRegs()
 	arenaTop := cg.arenaTop

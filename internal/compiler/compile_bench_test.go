@@ -1,0 +1,67 @@
+package compiler
+
+import (
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/model"
+)
+
+// BenchmarkCompile measures cold compilation (frontend + planning +
+// codegen) per model and strategy — the compile half of the perf
+// trajectory cimflow-bench now reports per row.
+func BenchmarkCompile(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	for _, name := range []string{"resnet18", "vgg19", "mobilenetv2", "efficientnetb0"} {
+		g := model.Zoo(name)
+		for _, s := range allStrategies {
+			b.Run(name+"/"+s.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Compile(g, &cfg, Options{Strategy: s}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompileContextReuse measures warm compilation through a shared
+// CompileContext: the frontend and planning caches are hot, as in a DSE
+// sweep revisiting a graph or an Engine compiling a second strategy.
+func BenchmarkCompileContextReuse(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	for _, name := range []string{"mobilenetv2", "efficientnetb0"} {
+		g := model.Zoo(name)
+		cx, err := NewContext(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cx.Compile(&cfg, Options{Strategy: StrategyDP}); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/dp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cx.Compile(&cfg, Options{Strategy: StrategyDP}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodegenSequential pins the sequential baseline the differential
+// suite compares against, so codegen-parallelism regressions are visible.
+func BenchmarkCodegenSequential(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	g := model.Zoo("vgg19")
+	cx, err := NewContext(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := cx.Compile(&cfg, Options{Strategy: StrategyGeneric, CodegenWorkers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package compiler
 
 import (
+	"sync"
+
 	"cimflow/internal/arch"
 	"cimflow/internal/model"
 )
@@ -11,9 +13,102 @@ import (
 // unit throughput, per-row staging/transfer traffic and the shared global
 // memory port that serializes weight loading — the dominant terms of the
 // architectures under study.
+//
+// A costModel is the planning-stage cache of the staged pipeline: built
+// once per (graph, architecture), it precomputes flat per-unit tables
+// (per-row cost, minimum cores, boundary-edge traffic, MVM geometries) so
+// that the dynamic program's inner loop — millions of unitCost calls for a
+// MobileNet-class graph — reads table entries instead of re-deriving tile
+// geometries, and memoizes whole stage allocations by their unit bitmask.
+// Safe for concurrent use once constructed; only the stage memo mutates.
 type costModel struct {
-	g   *model.Graph
-	cfg *arch.Config
+	g     *model.Graph
+	cfg   *arch.Config
+	units []*unit
+
+	// geoms maps conv/dense node ids to their CIM mapping geometry; it is
+	// read-only after construction and shared with the codegen stage.
+	geoms map[int]mvmGeom
+	// Flat per-unit tables, indexed by unit id.
+	perRow   []float64 // replica-independent per-output-row cost
+	minCores []int
+	maxReps  []int
+	bedges   [][]bedge // input edges, in graph-walk order
+
+	mu        sync.Mutex
+	stageMemo map[stageMemoKey]*stageAlloc
+}
+
+// bedge is one input edge of a unit for boundary costing: the producing
+// unit (-1 = the graph input) and the tensor bytes fetched when the
+// producer is outside the stage.
+type bedge struct {
+	prod  int
+	bytes float64
+}
+
+// stageMemoKey identifies a memoized stage allocation: the unit set and
+// whether duplication was allowed.
+type stageMemoKey struct {
+	mask      bmask
+	duplicate bool
+}
+
+// maxStageMemo bounds the stage-allocation memo. Real graphs stay far
+// below it (efficientnetb0 across all three strategies reaches ~3.5k
+// entries); the cap keeps a pathological 128-unit DAG from pinning
+// unbounded memory in a long-lived engine — once full, further stage
+// mappings compute uncached, which is correct, merely slower.
+const maxStageMemo = 1 << 16
+
+// newCostModel builds the planning tables for one (graph, architecture)
+// pair. units must be the full condensation of g (table indices are unit
+// ids).
+func newCostModel(g *model.Graph, cfg *arch.Config, units []*unit) *costModel {
+	cm := &costModel{
+		g:         g,
+		cfg:       cfg,
+		units:     units,
+		geoms:     make(map[int]mvmGeom, len(units)),
+		perRow:    make([]float64, len(units)),
+		minCores:  make([]int, len(units)),
+		maxReps:   make([]int, len(units)),
+		bedges:    make([][]bedge, len(units)),
+		stageMemo: map[stageMemoKey]*stageAlloc{},
+	}
+	for _, u := range units {
+		if u.anchor.Op == model.OpConv || u.anchor.Op == model.OpDense {
+			cm.geoms[u.anchor.ID] = geometry(g, cfg, u.anchor)
+		}
+	}
+	// unitOf resolves a node id to its unit for boundary edges.
+	unitOf := make([]int, len(g.Nodes))
+	for i := range unitOf {
+		unitOf[i] = -1
+	}
+	for _, u := range units {
+		for _, n := range u.nodes {
+			unitOf[n.ID] = u.id
+		}
+	}
+	for _, u := range units {
+		cm.perRow[u.id] = cm.unitPerRow(u)
+		cm.minCores[u.id] = cm.unitMinCoresUncached(u)
+		cm.maxReps[u.id] = u.anchor.OutShape.H
+		for _, n := range u.nodes {
+			for _, inID := range n.Inputs {
+				src := g.Nodes[inID]
+				for src.Op == model.OpFlatten {
+					src = g.Nodes[src.Inputs[0]]
+				}
+				cm.bedges[u.id] = append(cm.bedges[u.id], bedge{
+					prod:  unitOf[src.ID],
+					bytes: float64(src.OutShape.Elems()),
+				})
+			}
+		}
+	}
+	return cm
 }
 
 // mvmIssueCycles is the initiation interval of one MVM, including input
@@ -52,11 +147,10 @@ func (cm *costModel) auxCyclesPerOutRow(n *model.Node) float64 {
 	return 0
 }
 
-// unitCost estimates one condensed unit's makespan on its cluster, given a
-// replica count: the per-row maximum of CIM issue time, vector work and
-// transfer traffic, times the rows each replica owns, plus weight-swap
-// reload time for non-resident operators.
-func (cm *costModel) unitCost(u *unit, replicas int) float64 {
+// unitPerRow computes the replica-independent per-output-row makespan of a
+// unit: the maximum of CIM issue time, vector work and transfer traffic.
+// This is the expensive half of unitCost, tabulated once per unit.
+func (cm *costModel) unitPerRow(u *unit) float64 {
 	anchor := u.anchor
 	out := anchor.OutShape
 	in := cm.g.InShape(anchor)
@@ -65,7 +159,7 @@ func (cm *costModel) unitCost(u *unit, replicas int) float64 {
 	var cimPerRow, vecPerRow, xferPerRow float64
 	switch anchor.Op {
 	case model.OpConv, model.OpDense:
-		gm := geometry(cm.g, cm.cfg, anchor)
+		gm := cm.geom(anchor)
 		ctPerCore := gm.chanTilesPerCore
 		if ctPerCore == 0 {
 			ctPerCore = 1
@@ -102,7 +196,6 @@ func (cm *costModel) unitCost(u *unit, replicas int) float64 {
 	for _, n := range u.nodes[1:] {
 		vecPerRow += cm.auxCyclesPerOutRow(n)
 	}
-	rows := (out.H + replicas - 1) / replicas
 	perRow := cimPerRow
 	if vecPerRow > perRow {
 		perRow = vecPerRow
@@ -110,22 +203,42 @@ func (cm *costModel) unitCost(u *unit, replicas int) float64 {
 	if xferPerRow > perRow {
 		perRow = xferPerRow
 	}
-	return float64(rows) * perRow
+	return perRow
 }
 
-// unitMinCores returns the minimum cores for one replica of the unit.
-func (cm *costModel) unitMinCores(u *unit) int {
+// geom returns the memoized MVM geometry of a node. The geometry map is
+// read-only after construction (it is shared with concurrent codegen
+// workers), so an uncached node — impossible for planned anchors — is
+// recomputed rather than stored.
+func (cm *costModel) geom(n *model.Node) mvmGeom {
+	if gm, ok := cm.geoms[n.ID]; ok {
+		return gm
+	}
+	return geometry(cm.g, cm.cfg, n)
+}
+
+// unitCost estimates one condensed unit's makespan on its cluster, given a
+// replica count: the tabulated per-row cost times the rows each replica
+// owns (weight-swap reload time is part of the per-row table).
+func (cm *costModel) unitCost(u *unit, replicas int) float64 {
+	rows := (u.anchor.OutShape.H + replicas - 1) / replicas
+	return float64(rows) * cm.perRow[u.id]
+}
+
+// unitMinCoresUncached computes the minimum cores for one replica.
+func (cm *costModel) unitMinCoresUncached(u *unit) int {
 	switch u.anchor.Op {
 	case model.OpConv, model.OpDense:
-		return geometry(cm.g, cm.cfg, u.anchor).minCores
+		return cm.geom(u.anchor).minCores
 	}
 	return 1 // depthwise and aux run on one core minimum
 }
 
+// unitMinCores returns the minimum cores for one replica of the unit.
+func (cm *costModel) unitMinCores(u *unit) int { return cm.minCores[u.id] }
+
 // unitMaxReplicas bounds duplication by the output rows available to split.
-func (cm *costModel) unitMaxReplicas(u *unit) int {
-	return u.anchor.OutShape.H
-}
+func (cm *costModel) unitMaxReplicas(u *unit) int { return cm.maxReps[u.id] }
 
 // weightLoadCycles estimates the stage's weight-loading time through the
 // shared global memory port (the chip-level serialization bottleneck).
@@ -139,30 +252,48 @@ func (cm *costModel) weightLoadCycles(units []*unit, replicas []int) float64 {
 
 // boundaryCycles estimates stage-boundary activation traffic: tensors
 // produced outside the stage (or the graph input) must be fetched from
-// global memory by every consuming unit.
+// global memory by every consuming unit. The per-unit edge lists are
+// tabulated at construction; only the membership test runs here.
 func (cm *costModel) boundaryCycles(units []*unit, inStage bmask) float64 {
 	var bytes float64
 	for _, u := range units {
-		for _, n := range u.nodes {
-			for _, inID := range n.Inputs {
-				src := cm.g.Nodes[inID]
-				for src.Op == model.OpFlatten {
-					src = cm.g.Nodes[src.Inputs[0]]
-				}
-				// Find the producing unit; input node has none.
-				prodUnit := -1
-				for _, v := range units {
-					for _, vn := range v.nodes {
-						if vn.ID == src.ID {
-							prodUnit = v.id
-						}
-					}
-				}
-				if prodUnit < 0 || !inStage.has(prodUnit) {
-					bytes += float64(src.OutShape.Elems())
-				}
+		for _, be := range cm.bedges[u.id] {
+			if be.prod < 0 || !inStage.has(be.prod) {
+				bytes += be.bytes
 			}
 		}
 	}
 	return 2 * bytes / float64(cm.cfg.Chip.GlobalMemBandwidth)
+}
+
+// stageCost returns the memoized mapping of a unit set as one stage, or
+// (nil, false) when the set cannot fit the chip. The memo is keyed by the
+// stage bitmask and persists across strategies and Partition calls on the
+// same planner — the same set difference appears many times in Alg. 1's
+// transition loop and again in the greedy baselines.
+func (cm *costModel) stageCost(stage bmask, duplicate bool) (*stageAlloc, bool) {
+	key := stageMemoKey{mask: stage, duplicate: duplicate}
+	cm.mu.Lock()
+	a, ok := cm.stageMemo[key]
+	cm.mu.Unlock()
+	if ok {
+		return a, a != nil
+	}
+	ids := stage.members()
+	us := make([]*unit, len(ids))
+	for i, id := range ids {
+		us[i] = cm.units[id]
+	}
+	alloc, feasible := cm.mapStage(us, cm.cfg.NumCores(), stage, duplicate)
+	var p *stageAlloc
+	if feasible {
+		cp := alloc
+		p = &cp
+	}
+	cm.mu.Lock()
+	if len(cm.stageMemo) < maxStageMemo {
+		cm.stageMemo[key] = p
+	}
+	cm.mu.Unlock()
+	return p, feasible
 }

@@ -14,7 +14,7 @@ func costModelFor(name string) (*costModel, []*unit) {
 	if err != nil {
 		panic(err)
 	}
-	return &costModel{g: g, cfg: &cfg}, units
+	return newCostModel(g, &cfg, units), units
 }
 
 func TestUnitCostDecreasesWithReplication(t *testing.T) {

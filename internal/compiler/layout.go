@@ -35,22 +35,42 @@ func weightRegionBytes(g *model.Graph, cfg *arch.Config, n *model.Node) int32 {
 	switch n.Op {
 	case model.OpConv, model.OpDense:
 		gm := geometry(g, cfg, n)
-		var total int32
-		gc := cfg.GroupChannels()
-		for ct := 0; ct < gm.chanTiles; ct++ {
-			chans := gc
-			if (ct+1)*gc > n.Cout {
-				chans = n.Cout - ct*gc
-			}
-			for _, t := range gm.tiles {
-				total += int32(t.Rows * chans)
-			}
-		}
-		return total
+		return mvmWeightRegionBytes(&gm, cfg)
 	case model.OpDWConv:
 		return int32(n.KH * n.KW * n.Cout)
 	}
 	return 0
+}
+
+// regionBytes is weightRegionBytes against a precomputed geometry map,
+// avoiding the tile re-derivation on the compile and session-staging paths.
+func regionBytes(geoms map[int]mvmGeom, cfg *arch.Config, n *model.Node) int32 {
+	switch n.Op {
+	case model.OpConv, model.OpDense:
+		gm := geoms[n.ID]
+		return mvmWeightRegionBytes(&gm, cfg)
+	case model.OpDWConv:
+		return int32(n.KH * n.KW * n.Cout)
+	}
+	return 0
+}
+
+// mvmWeightRegionBytes sizes the pre-tiled weight region of an MVM node
+// from its mapping geometry.
+func mvmWeightRegionBytes(gm *mvmGeom, cfg *arch.Config) int32 {
+	var total int32
+	gc := cfg.GroupChannels()
+	cout := gm.node.Cout
+	for ct := 0; ct < gm.chanTiles; ct++ {
+		chans := gc
+		if (ct+1)*gc > cout {
+			chans = cout - ct*gc
+		}
+		for _, t := range gm.tiles {
+			total += int32(t.Rows * chans)
+		}
+	}
+	return total
 }
 
 // weightBlockOffset returns the offset of the (chanTile, rowTile) block
@@ -73,8 +93,9 @@ func weightBlockOffset(gm *mvmGeom, gc int, ct, tile int) int32 {
 	return off
 }
 
-// buildLayout allocates the global memory map for a plan.
-func buildLayout(g *model.Graph, cfg *arch.Config, plan *Plan) *globalLayout {
+// buildLayout allocates the global memory map for a plan, sizing weight
+// regions from the planner's precomputed geometries.
+func buildLayout(g *model.Graph, cfg *arch.Config, plan *Plan, geoms map[int]mvmGeom) *globalLayout {
 	l := &globalLayout{
 		weightAddr: map[int]int32{},
 		actAddr:    map[int]int32{},
@@ -85,7 +106,7 @@ func buildLayout(g *model.Graph, cfg *arch.Config, plan *Plan) *globalLayout {
 	l.inputAddr = l.alloc(l.inputBytes)
 	for _, st := range plan.Stages {
 		for _, op := range st.Ops {
-			if wb := weightRegionBytes(g, cfg, op.Node); wb > 0 {
+			if wb := regionBytes(geoms, cfg, op.Node); wb > 0 {
 				l.weightAddr[op.Node.ID] = l.alloc(wb)
 			}
 			if op.GlobalOut == -2 {
@@ -177,7 +198,7 @@ func (c *Compiled) StaticInit(ws model.WeightStore) ([]sim.GlobalSegment, error)
 		switch n.Op {
 		case model.OpConv, model.OpDense:
 			gm := c.geoms[id]
-			data := make([]byte, weightRegionBytes(c.Graph, c.Cfg, n))
+			data := make([]byte, regionBytes(c.geoms, c.Cfg, n))
 			pos := 0
 			for ct := 0; ct < gm.chanTiles; ct++ {
 				chans := gc
@@ -218,7 +239,7 @@ func (c *Compiled) ScratchRanges() [][2]int {
 	var static []span
 	for id, base := range c.layout.weightAddr {
 		n := c.Graph.Node(id)
-		static = append(static, span{int(base), int(base) + int(weightRegionBytes(c.Graph, c.Cfg, n))})
+		static = append(static, span{int(base), int(base) + int(regionBytes(c.geoms, c.Cfg, n))})
 	}
 	for _, s := range c.poolSegs {
 		static = append(static, span{s.Addr, s.Addr + len(s.Data)})

@@ -84,7 +84,7 @@ func (cm *costModel) mapStage(units []*unit, numCores int, inStage bmask, duplic
 
 func geometryPasses(cm *costModel, u *unit) int {
 	if u.anchor.Op == model.OpConv || u.anchor.Op == model.OpDense {
-		return geometry(cm.g, cm.cfg, u.anchor).passes
+		return cm.geom(u.anchor).passes
 	}
 	return 1
 }

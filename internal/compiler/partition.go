@@ -13,22 +13,43 @@ const defaultMaxClosures = 4096
 
 // Partition runs the CG-level optimization: condensation, linearization,
 // stage partitioning and core mapping under the selected strategy, and
-// returns the plan the code generator realizes.
+// returns the plan the code generator realizes. One-shot convenience over
+// the staged pipeline; callers compiling a graph more than once should hold
+// a CompileContext and call its Partition.
 func Partition(g *model.Graph, cfg *arch.Config, opt Options) (*Plan, error) {
-	units, err := condense(g)
+	cx, err := NewContext(g)
 	if err != nil {
 		return nil, err
 	}
-	cm := &costModel{g: g, cfg: cfg}
+	return cx.Partition(cfg, opt)
+}
+
+// Partition is the planning stage: it partitions the context's graph into
+// execution stages and maps them onto the architecture's cores under the
+// selected strategy, reusing the context's memoized cost tables.
+func (cx *CompileContext) Partition(cfg *arch.Config, opt Options) (*Plan, error) {
+	return cx.partitionWith(cx.planner(cfg), opt)
+}
+
+// partitionWith is Partition against an already-resolved planner, so
+// Compile resolves the planner exactly once per call (a re-lookup could
+// rebuild the cost tables if the bounded planner cache evicted it
+// in between).
+func (cx *CompileContext) partitionWith(cm *costModel, opt Options) (*Plan, error) {
+	plan := &Plan{Strategy: opt.Strategy}
 	var (
 		stages [][]int // unit ids per stage
 		allocs []stageAlloc
+		err    error
 	)
 	switch opt.Strategy {
 	case StrategyGeneric, StrategyDuplication:
-		stages, allocs, err = greedyPartition(cm, units, opt.Strategy == StrategyDuplication)
+		stages, allocs, err = greedyPartition(cm, cx.units, opt.Strategy == StrategyDuplication)
 	case StrategyDP:
-		stages, allocs, err = dpPartition(cm, units, opt.MaxClosures)
+		cs := cx.closureSet(opt.MaxClosures)
+		plan.ClosureCapHit = cs.capHit
+		plan.ClosuresEnumerated = cs.enumerated
+		stages, allocs, err = dpPartition(cm, cx.units, cs)
 	default:
 		return nil, fmt.Errorf("compiler: unknown strategy %v", opt.Strategy)
 	}
@@ -36,7 +57,6 @@ func Partition(g *model.Graph, cfg *arch.Config, opt Options) (*Plan, error) {
 		return nil, err
 	}
 
-	plan := &Plan{Strategy: opt.Strategy}
 	for si := range stages {
 		st, err := cm.buildStage(si, allocs[si])
 		if err != nil {
@@ -45,7 +65,8 @@ func Partition(g *model.Graph, cfg *arch.Config, opt Options) (*Plan, error) {
 		plan.Stages = append(plan.Stages, st)
 		plan.EstimatedCycles += allocs[si].cycles
 	}
-	markGlobalOutputs(g, plan)
+	plan.buildIndex()
+	markGlobalOutputs(cx.g, plan)
 	return plan, nil
 }
 
@@ -54,7 +75,6 @@ func Partition(g *model.Graph, cfg *arch.Config, opt Options) (*Plan, error) {
 // the two baselines. With duplicate=true, vacant cores are then filled with
 // opportunistic weight duplication (the CIM-MLC-style baseline).
 func greedyPartition(cm *costModel, units []*unit, duplicate bool) ([][]int, []stageAlloc, error) {
-	numCores := cm.cfg.NumCores()
 	maskOf := func(ids []int) bmask {
 		m := bmask{}
 		for _, id := range ids {
@@ -62,18 +82,11 @@ func greedyPartition(cm *costModel, units []*unit, duplicate bool) ([][]int, []s
 		}
 		return m
 	}
-	pick := func(ids []int) []*unit {
-		us := make([]*unit, len(ids))
-		for i, id := range ids {
-			us[i] = units[id]
-		}
-		return us
-	}
 	var stages [][]int
 	var cur []int
 	for _, u := range units {
 		trial := append(append([]int{}, cur...), u.id)
-		if _, ok := cm.mapStage(pick(trial), numCores, maskOf(trial), false); !ok && len(cur) > 0 {
+		if _, ok := cm.stageCost(maskOf(trial), false); !ok && len(cur) > 0 {
 			stages = append(stages, cur)
 			cur = nil
 		}
@@ -84,20 +97,30 @@ func greedyPartition(cm *costModel, units []*unit, duplicate bool) ([][]int, []s
 	}
 	allocs := make([]stageAlloc, len(stages))
 	for si, st := range stages {
-		alloc, ok := cm.mapStage(pick(st), numCores, maskOf(st), duplicate)
+		alloc, ok := cm.stageCost(maskOf(st), duplicate)
 		if !ok {
 			return nil, nil, fmt.Errorf("compiler: stage %d (units %v) does not fit the chip even alone", si, st)
 		}
-		allocs[si] = alloc
+		allocs[si] = *alloc
 	}
 	return stages, allocs, nil
+}
+
+// closureSet is the result of dependency-closure enumeration: the closure
+// bitmasks, whether the cap forced the linear-prefix fallback, and how many
+// distinct closures the enumeration visited before stopping.
+type closureSet struct {
+	masks      []bmask
+	capHit     bool
+	enumerated int
 }
 
 // enumerateClosures lists dependency closures (downsets) of the unit DAG as
 // bitmasks, the state-compression of Alg. 1. Enumeration is breadth-first
 // over closure extensions; if the count exceeds the cap, it falls back to
-// the linear-prefix closures, which are always valid.
-func enumerateClosures(units []*unit, maxClosures int) []bmask {
+// the linear-prefix closures, which are always valid (and reports the cap
+// hit so plans can surface the fallback instead of silently degrading).
+func enumerateClosures(units []*unit, maxClosures int) *closureSet {
 	if maxClosures <= 0 {
 		maxClosures = defaultMaxClosures
 	}
@@ -135,7 +158,7 @@ func enumerateClosures(units []*unit, maxClosures int) []bmask {
 			m = m.or(bit(u.id))
 			out = append(out, m)
 		}
-		return out
+		return &closureSet{masks: out, capHit: true, enumerated: len(seen)}
 	}
 	out := make([]bmask, 0, len(seen))
 	for m := range seen {
@@ -150,20 +173,22 @@ func enumerateClosures(units []*unit, maxClosures int) []bmask {
 		}
 		return out[i].lo < out[j].lo
 	})
-	return out
+	return &closureSet{masks: out, enumerated: len(seen)}
 }
 
 // dpPartition implements Alg. 1: dp[i] is the optimal cost of executing
 // closure D[i]; transitions carve a stage D[i] \ D[j] out of every subset
 // closure D[j], costed by OptimalMapping (mapStage with duplication).
-func dpPartition(cm *costModel, units []*unit, maxClosures int) ([][]int, []stageAlloc, error) {
-	closures := enumerateClosures(units, maxClosures)
-	numCores := cm.cfg.NumCores()
+// Stage costs are served by the planner's bitmask-keyed memo, so the same
+// set difference — which reappears across transitions, strategies and
+// repeated Partition calls — is mapped once.
+func dpPartition(cm *costModel, units []*unit, cs *closureSet) ([][]int, []stageAlloc, error) {
+	closures := cs.masks
 	n := len(closures)
 	const inf = 1e30
 	dp := make([]float64, n)
 	prev := make([]int, n)
-	stageAllocs := make([]stageAlloc, n)
+	stageAllocs := make([]*stageAlloc, n)
 	idx := make(map[bmask]int, n)
 	for i, m := range closures {
 		idx[m] = i
@@ -171,27 +196,6 @@ func dpPartition(cm *costModel, units []*unit, maxClosures int) ([][]int, []stag
 		prev[i] = -1
 	}
 	dp[idx[bmask{}]] = 0
-
-	// Memoize stage costs: the same set difference appears many times.
-	memo := map[bmask]*stageAlloc{}
-	stageCost := func(stage bmask) (*stageAlloc, bool) {
-		if a, ok := memo[stage]; ok {
-			return a, a != nil
-		}
-		ids := stage.members()
-		us := make([]*unit, len(ids))
-		for i, id := range ids {
-			us[i] = units[id]
-		}
-		alloc, ok := cm.mapStage(us, numCores, stage, true)
-		if !ok {
-			memo[stage] = nil
-			return nil, false
-		}
-		a := alloc
-		memo[stage] = &a
-		return &a, true
-	}
 
 	for i := 1; i < n; i++ {
 		di := closures[i]
@@ -203,14 +207,14 @@ func dpPartition(cm *costModel, units []*unit, maxClosures int) ([][]int, []stag
 			if !di.contains(dj) || di == dj {
 				continue
 			}
-			alloc, ok := stageCost(di.diff(dj))
+			alloc, ok := cm.stageCost(di.diff(dj), true)
 			if !ok {
 				continue
 			}
 			if cand := dp[j] + alloc.cycles; cand < dp[i] {
 				dp[i] = cand
 				prev[i] = j
-				stageAllocs[i] = *alloc
+				stageAllocs[i] = alloc
 			}
 		}
 	}
@@ -233,7 +237,7 @@ func dpPartition(cm *costModel, units []*unit, maxClosures int) ([][]int, []stag
 	for i := full; prev[i] >= 0; i = prev[i] {
 		stage := closures[i].diff(closures[prev[i]])
 		revStages = append(revStages, stage.members())
-		revAllocs = append(revAllocs, stageAllocs[i])
+		revAllocs = append(revAllocs, *stageAllocs[i])
 	}
 	stages := make([][]int, 0, len(revStages))
 	allocs := make([]stageAlloc, 0, len(revAllocs))

@@ -179,12 +179,18 @@ func TestCondenseAllZooModels(t *testing.T) {
 func TestEnumerateClosuresChain(t *testing.T) {
 	g := model.VGG19() // pure chain: closures = prefixes
 	units, _ := condense(g)
-	closures := enumerateClosures(units, 0)
-	if len(closures) != len(units)+1 {
-		t.Errorf("chain closures = %d, want %d", len(closures), len(units)+1)
+	cs := enumerateClosures(units, 0)
+	if len(cs.masks) != len(units)+1 {
+		t.Errorf("chain closures = %d, want %d", len(cs.masks), len(units)+1)
+	}
+	if cs.capHit {
+		t.Error("chain enumeration reported a cap hit")
+	}
+	if cs.enumerated != len(cs.masks) {
+		t.Errorf("enumerated = %d, want %d", cs.enumerated, len(cs.masks))
 	}
 	// All must be downsets: every member's deps inside.
-	for _, m := range closures {
+	for _, m := range cs.masks {
 		for _, id := range m.members() {
 			for _, d := range units[id].deps {
 				if !m.has(d) {
@@ -198,9 +204,15 @@ func TestEnumerateClosuresChain(t *testing.T) {
 func TestEnumerateClosuresFallback(t *testing.T) {
 	g := model.ResNet18()
 	units, _ := condense(g)
-	closures := enumerateClosures(units, 5) // force the fallback
-	if len(closures) != len(units)+1 {
-		t.Errorf("fallback closures = %d, want %d", len(closures), len(units)+1)
+	cs := enumerateClosures(units, 5) // force the fallback
+	if len(cs.masks) != len(units)+1 {
+		t.Errorf("fallback closures = %d, want %d", len(cs.masks), len(units)+1)
+	}
+	if !cs.capHit {
+		t.Error("forced fallback did not report the cap hit")
+	}
+	if cs.enumerated <= 5 {
+		t.Errorf("enumerated = %d, want > cap", cs.enumerated)
 	}
 }
 

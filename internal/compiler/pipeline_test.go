@@ -1,0 +1,167 @@
+package compiler
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/model"
+)
+
+// zooModels are the graphs the differential suite compiles.
+var zooModels = []string{
+	"resnet18", "vgg19", "mobilenetv2", "efficientnetb0",
+	"tinycnn", "tinymlp", "tinyresnet", "tinymobile", "tinyse",
+}
+
+var allStrategies = []Strategy{StrategyGeneric, StrategyDuplication, StrategyDP}
+
+// artifactHash digests everything observable about a compiled artifact:
+// per-core instruction streams, decoded programs, the global layout, the
+// static weight/constant segments, scratch ranges and the plan summary.
+func artifactHash(t *testing.T, c *Compiled) string {
+	t.Helper()
+	h := sha256.New()
+	fmt.Fprintf(h, "global=%d output=%d est=%.17g\nplan: %s\n",
+		c.GlobalBytes(), c.OutputNode, c.Plan.EstimatedCycles, c.Plan.Summary())
+	for _, p := range c.Programs {
+		fmt.Fprintf(h, "core %d (%d instructions)\n", p.Core, len(p.Code))
+		for _, ins := range p.Code {
+			fmt.Fprintf(h, "%+v\n", ins)
+		}
+		fmt.Fprintf(h, "decoded %d\n", len(p.Decoded))
+	}
+	ws := model.NewSeededWeights(c.Graph, 1)
+	segs, err := c.StaticInit(ws)
+	if err != nil {
+		t.Fatalf("StaticInit: %v", err)
+	}
+	// StaticInit walks a map; segment order is not part of the artifact.
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Addr < segs[j].Addr })
+	for _, seg := range segs {
+		fmt.Fprintf(h, "seg@%d %x\n", seg.Addr, sha256.Sum256(seg.Data))
+	}
+	for _, r := range c.ScratchRanges() {
+		fmt.Fprintf(h, "scratch %v\n", r)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestPipelineParallelEquivalence is the differential proof of the staged
+// pipeline: for every zoo model and strategy, the parallel per-core codegen
+// produces an artifact byte-identical to the sequential path
+// (CodegenWorkers=1, which emits core by core exactly as the pre-pipeline
+// monolithic generator did), at several worker counts, both through
+// one-shot Compile and through a shared CompileContext.
+func TestPipelineParallelEquivalence(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	workerCounts := []int{2, 3, 8}
+	models := zooModels
+	if testing.Short() {
+		models = []string{"resnet18", "tinyresnet", "tinyse"}
+	}
+	for _, name := range models {
+		g := model.Zoo(name)
+		cx, err := NewContext(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, s := range allStrategies {
+			opt := Options{Strategy: s, CodegenWorkers: 1}
+			ref, err := Compile(g, &cfg, opt)
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", name, s, err)
+			}
+			want := artifactHash(t, ref)
+			for _, w := range workerCounts {
+				opt.CodegenWorkers = w
+				got, err := cx.Compile(&cfg, opt)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, s, w, err)
+				}
+				if h := artifactHash(t, got); h != want {
+					t.Errorf("%s/%s: artifact at %d workers diverges from sequential", name, s, w)
+				}
+				if !reflect.DeepEqual(programCodes(ref), programCodes(got)) {
+					t.Errorf("%s/%s: instruction streams differ at %d workers", name, s, w)
+				}
+			}
+		}
+	}
+}
+
+func programCodes(c *Compiled) [][]int32 {
+	out := make([][]int32, len(c.Programs))
+	for i, p := range c.Programs {
+		words := make([]int32, 0, len(p.Code)*8)
+		for _, ins := range p.Code {
+			words = append(words, int32(ins.Op), int32(ins.Funct), int32(ins.RS), int32(ins.RT),
+				int32(ins.RE), int32(ins.RD), ins.Imm, int32(ins.Flags))
+		}
+		out[i] = words
+	}
+	return out
+}
+
+// TestContextReuseAcrossStrategies: one context compiled under every
+// strategy and at two architecture points matches fresh one-shot compiles.
+func TestContextReuseAcrossStrategies(t *testing.T) {
+	g := model.Zoo("tinyresnet")
+	cx, err := NewContext(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []arch.Config{arch.DefaultConfig(), arch.DefaultConfig().WithMacrosPerGroup(4)}
+	for _, cfg := range cfgs {
+		for _, s := range allStrategies {
+			opt := Options{Strategy: s}
+			shared, err := cx.Compile(&cfg, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", s, err)
+			}
+			fresh, err := Compile(g, &cfg, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", s, err)
+			}
+			if artifactHash(t, shared) != artifactHash(t, fresh) {
+				t.Errorf("%s @ %s: context-reusing compile diverges from one-shot", s, cfg.Name)
+			}
+		}
+	}
+	if cx.Units() == 0 {
+		t.Error("context reports no units")
+	}
+}
+
+// TestPlannerEviction: compiling through more architecture points than the
+// planner cache retains still produces correct artifacts when an evicted
+// architecture is revisited.
+func TestPlannerEviction(t *testing.T) {
+	g := model.Zoo("tinycnn")
+	cx, err := NewContext(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := arch.DefaultConfig()
+	first, err := cx.Compile(&base, Options{Strategy: StrategyDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifactHash(t, first)
+	for _, mg := range []int{4, 8, 12, 16, 2} { // > maxPlanners distinct configs
+		cfg := base.WithMacrosPerGroup(mg)
+		if _, err := cx.Compile(&cfg, Options{Strategy: StrategyDP}); err != nil {
+			t.Fatalf("mg=%d: %v", mg, err)
+		}
+	}
+	again, err := cx.Compile(&base, Options{Strategy: StrategyDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifactHash(t, again) != want {
+		t.Error("revisiting an evicted architecture produced a different artifact")
+	}
+}

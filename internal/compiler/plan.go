@@ -70,10 +70,15 @@ type Options struct {
 	Strategy Strategy
 	// MaxClosures caps dependency-closure enumeration; beyond it the DP
 	// falls back to linear-prefix closures (always sound). 0 = default.
+	// A plan built under the fallback reports it via Plan.ClosureCapHit.
 	MaxClosures int
 	// FullBufferLimit overrides the largest input buffer kept entirely in
 	// local memory (0 = default); smaller inputs avoid ring streaming.
 	FullBufferLimit int32
+	// CodegenWorkers bounds the per-core code-generation workers (0 =
+	// GOMAXPROCS, 1 = sequential). The emitted artifact is byte-identical
+	// at any setting; only compile latency changes.
+	CodegenWorkers int
 	// Verbose enables plan dumping.
 	Verbose bool
 }
@@ -144,10 +149,39 @@ type Plan struct {
 	// EstimatedCycles is the cost model's prediction (the simulator
 	// measures the truth).
 	EstimatedCycles float64
+	// ClosureCapHit reports that the DP's dependency-closure enumeration
+	// exceeded Options.MaxClosures and the partition was built on the
+	// linear-prefix fallback closures (sound, but no longer the exhaustive
+	// Alg. 1 search). Always false for the greedy strategies.
+	ClosureCapHit bool
+	// ClosuresEnumerated counts the distinct closures the enumeration
+	// visited before stopping (cap+1 or more when the cap was hit).
+	ClosuresEnumerated int
+
+	// Node-indexed lookups, built by buildIndex after planning; nil maps
+	// fall back to a linear scan (hand-built plans in tests).
+	nodeOp    map[int]*OpPlan
+	nodeStage map[int]int
+}
+
+// buildIndex tabulates the node -> OpPlan and node -> stage lookups that
+// layout and codegen query per shard.
+func (p *Plan) buildIndex() {
+	p.nodeOp = map[int]*OpPlan{}
+	p.nodeStage = map[int]int{}
+	for si, st := range p.Stages {
+		for _, op := range st.Ops {
+			p.nodeOp[op.Node.ID] = op
+			p.nodeStage[op.Node.ID] = si
+		}
+	}
 }
 
 // opPlanByNode finds the plan of a node anywhere in the plan.
 func (p *Plan) opPlanByNode(id int) *OpPlan {
+	if p.nodeOp != nil {
+		return p.nodeOp[id]
+	}
 	for _, st := range p.Stages {
 		for _, op := range st.Ops {
 			if op.Node.ID == id {
@@ -160,6 +194,12 @@ func (p *Plan) opPlanByNode(id int) *OpPlan {
 
 // stageOf returns the stage index hosting a node, or -1.
 func (p *Plan) stageOf(id int) int {
+	if p.nodeStage != nil {
+		if si, ok := p.nodeStage[id]; ok {
+			return si
+		}
+		return -1
+	}
 	for si, st := range p.Stages {
 		for _, op := range st.Ops {
 			if op.Node.ID == id {
@@ -173,7 +213,11 @@ func (p *Plan) stageOf(id int) int {
 // Summary renders the plan for reports and debugging.
 func (p *Plan) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "strategy %s, %d stages, est %.0f cycles\n", p.Strategy, len(p.Stages), p.EstimatedCycles)
+	fmt.Fprintf(&b, "strategy %s, %d stages, est %.0f cycles", p.Strategy, len(p.Stages), p.EstimatedCycles)
+	if p.ClosureCapHit {
+		fmt.Fprintf(&b, ", closure cap hit (%d enumerated, linear-prefix fallback)", p.ClosuresEnumerated)
+	}
+	b.WriteByte('\n')
 	for _, st := range p.Stages {
 		fmt.Fprintf(&b, " stage %d:\n", st.ID)
 		for _, op := range st.Ops {

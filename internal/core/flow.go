@@ -61,9 +61,12 @@ type Options struct {
 	LegacyInterpreter bool
 }
 
-// Run compiles the model for the architecture and executes it on the
-// simulator with deterministic synthetic weights and input. Cancelling ctx
-// aborts the simulation mid-run.
+// Run compiles the model for the architecture (one pass of the staged
+// compiler pipeline: frontend, planning, parallel per-core codegen) and
+// executes it on the simulator with deterministic synthetic weights and
+// input. Cancelling ctx aborts the simulation mid-run. Callers that
+// compile the same graph repeatedly should go through an Engine or a
+// dse.CompileCache, which reuse the graph's CompileContext and artifacts.
 func Run(ctx context.Context, g *model.Graph, cfg arch.Config, opt Options) (*Result, error) {
 	compiled, err := compiler.Compile(g, &cfg, compiler.Options{
 		Strategy:        opt.Strategy,

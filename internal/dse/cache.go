@@ -62,25 +62,64 @@ type cacheEntry struct {
 	err      error
 }
 
+// ctxEntry is one singleflight frontend slot: the first caller runs the
+// compiler frontend (validation + condensation), later callers share the
+// CompileContext.
+type ctxEntry struct {
+	once sync.Once
+	cx   *compiler.CompileContext
+	err  error
+}
+
 // CompileCache deduplicates compilation across sweep points that share a
 // (model, config, strategy) triple — e.g. the Fig. 7 sweep reusing every
-// generic-strategy artifact of Fig. 6. It is safe for concurrent use; a
-// point compiled by one worker is awaited, not recompiled, by the others.
+// generic-strategy artifact of Fig. 6 — and holds one CompileContext per
+// distinct graph, so the compiler frontend runs once per model no matter
+// how many architecture points or strategies a sweep visits. It is safe
+// for concurrent use; a point compiled by one worker is awaited, not
+// recompiled, by the others.
 type CompileCache struct {
 	mu       sync.Mutex
 	entries  map[string]*cacheEntry
+	ctxs     map[string]*ctxEntry
 	compiles atomic.Int64
 	hits     atomic.Int64
 }
 
 // NewCompileCache returns an empty cache.
 func NewCompileCache() *CompileCache {
-	return &CompileCache{entries: make(map[string]*cacheEntry)}
+	return &CompileCache{
+		entries: make(map[string]*cacheEntry),
+		ctxs:    make(map[string]*ctxEntry),
+	}
+}
+
+// Context returns the shared CompileContext for a graph, running the
+// compiler frontend at most once per structural fingerprint.
+func (c *CompileCache) Context(g *model.Graph) (*compiler.CompileContext, error) {
+	key := GraphFingerprint(g)
+	c.mu.Lock()
+	e, ok := c.ctxs[key]
+	if !ok {
+		e = &ctxEntry{}
+		c.ctxs[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.cx, e.err = compiler.NewContext(g) })
+	return e.cx, e.err
+}
+
+// Contexts reports how many distinct graph frontends the cache holds.
+func (c *CompileCache) Contexts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ctxs)
 }
 
 // Compile returns the compiled artifact for (g, cfg, opt), compiling at
-// most once per distinct key. The returned Compiled references a
-// cache-owned copy of cfg, so callers may let cfg go out of scope.
+// most once per distinct key through the graph's shared CompileContext.
+// The returned Compiled references a cache-owned copy of cfg, so callers
+// may let cfg go out of scope.
 func (c *CompileCache) Compile(g *model.Graph, cfg *arch.Config, opt compiler.Options) (*compiler.Compiled, error) {
 	key := cacheKey(g, cfg, opt)
 	c.mu.Lock()
@@ -95,7 +134,12 @@ func (c *CompileCache) Compile(g *model.Graph, cfg *arch.Config, opt compiler.Op
 	}
 	e.once.Do(func() {
 		c.compiles.Add(1)
-		e.compiled, e.err = compiler.Compile(g, &e.cfg, opt)
+		cx, err := c.Context(g)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.compiled, e.err = cx.Compile(&e.cfg, opt)
 	})
 	return e.compiled, e.err
 }

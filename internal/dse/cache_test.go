@@ -157,3 +157,45 @@ func TestCompileCacheDedup(t *testing.T) {
 		t.Errorf("CompileCalls after second strategy = %d, want 2", got)
 	}
 }
+
+// TestCacheSharesContextsAcrossPoints: compiling one model at many
+// architecture points and strategies runs the compiler frontend exactly
+// once per graph — the CompileContext is shared, while artifacts stay
+// per-(config, strategy).
+func TestCacheSharesContextsAcrossPoints(t *testing.T) {
+	cache := NewCompileCache()
+	g := model.TinyCNN()
+	base := arch.DefaultConfig()
+	compiles := 0
+	for _, mg := range []int{4, 8, 16} {
+		cfg := base.WithMacrosPerGroup(mg)
+		for _, s := range []compiler.Strategy{compiler.StrategyGeneric, compiler.StrategyDP} {
+			if _, err := cache.Compile(g, &cfg, compiler.Options{Strategy: s}); err != nil {
+				t.Fatalf("mg=%d %v: %v", mg, s, err)
+			}
+			compiles++
+		}
+	}
+	if got := cache.CompileCalls(); got != int64(compiles) {
+		t.Errorf("CompileCalls = %d, want %d", got, compiles)
+	}
+	if got := cache.Contexts(); got != 1 {
+		t.Errorf("Contexts = %d, want 1 (one graph)", got)
+	}
+	// A second model adds exactly one context.
+	mlp := model.TinyMLP()
+	if _, err := cache.Compile(mlp, &base, compiler.Options{Strategy: compiler.StrategyGeneric}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Contexts(); got != 2 {
+		t.Errorf("Contexts = %d, want 2", got)
+	}
+	// Context is also available directly and matches the graph.
+	cx, err := cache.Context(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx.Graph() != g {
+		t.Error("Context returned a different graph's frontend")
+	}
+}

@@ -3,6 +3,7 @@ package dse
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"cimflow/internal/arch"
 	"cimflow/internal/compiler"
@@ -23,6 +24,10 @@ type Fig5Row struct {
 	EnergyMJ   float64
 	NormSpeed  float64 // generic cycles / cycles (higher is better)
 	NormEnergy float64 // energy / generic energy (lower is better)
+	// CompileMS and SimMS split the row's wall-clock cost between the
+	// compile and simulate stages (host time, not deterministic).
+	CompileMS float64
+	SimMS     float64
 }
 
 // Fig5Models are the paper's four benchmark networks.
@@ -40,6 +45,9 @@ var (
 	Fig6Models  = []string{"resnet18", "efficientnetb0"}
 )
 
+// ms converts a duration to milliseconds for report columns.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 // strategyNames renders a strategy axis for a Spec.
 func strategyNames(strats []compiler.Strategy) []string {
 	names := make([]string, len(strats))
@@ -50,8 +58,9 @@ func strategyNames(strats []compiler.Strategy) []string {
 }
 
 // RunFig5 reproduces the compilation-optimization comparison of Fig. 5 on
-// the given architecture. Rows are identical to the historical serial
-// implementation at any parallelism.
+// the given architecture. Every simulated and derived column is identical
+// to the historical serial implementation at any parallelism; the
+// CompileMS/SimMS columns are wall-clock host measurements.
 func RunFig5(ctx context.Context, cfg arch.Config, models []string, opt RunOptions) ([]Fig5Row, error) {
 	if len(models) == 0 {
 		models = Fig5Models
@@ -83,6 +92,8 @@ func RunFig5(ctx context.Context, cfg arch.Config, models []string, opt RunOptio
 			EnergyMJ:   r.Metrics.EnergyMJ,
 			NormSpeed:  float64(base.Cycles) / float64(r.Metrics.Cycles),
 			NormEnergy: r.Metrics.EnergyMJ / base.EnergyMJ,
+			CompileMS:  ms(r.CompileTime),
+			SimMS:      ms(r.SimTime),
 		})
 	}
 	return rows, nil
@@ -91,9 +102,9 @@ func RunFig5(ctx context.Context, cfg arch.Config, models []string, opt RunOptio
 // Fig5Table renders Fig. 5 rows as the printed series.
 func Fig5Table(rows []Fig5Row) *report.Table {
 	t := report.New("Fig. 5: normalized speed and energy by compilation strategy",
-		"model", "strategy", "cycles", "norm_speed", "norm_energy", "energy_mJ")
+		"model", "strategy", "cycles", "norm_speed", "norm_energy", "energy_mJ", "compile_ms", "sim_ms")
 	for _, r := range rows {
-		t.Add(r.Model, r.Strategy.String(), r.Cycles, r.NormSpeed, r.NormEnergy, r.EnergyMJ)
+		t.Add(r.Model, r.Strategy.String(), r.Cycles, r.NormSpeed, r.NormEnergy, r.EnergyMJ, r.CompileMS, r.SimMS)
 	}
 	return t
 }
@@ -110,7 +121,10 @@ type Fig6Row struct {
 	NoCMJ      float64
 	TotalMJ    float64
 	Cycles     int64
-	strategy   compiler.Strategy
+	// CompileMS and SimMS split the row's wall-clock cost (host time).
+	CompileMS float64
+	SimMS     float64
+	strategy  compiler.Strategy
 }
 
 // RunFig6 reproduces the architectural exploration of Fig. 6: the energy
@@ -128,6 +142,9 @@ type Fig7Row struct {
 	Strategy  compiler.Strategy
 	TOPS      float64
 	EnergyMJ  float64
+	// CompileMS and SimMS split the row's wall-clock cost (host time).
+	CompileMS float64
+	SimMS     float64
 }
 
 // RunFig7 reproduces the software/hardware co-design space of Fig. 7:
@@ -150,6 +167,8 @@ func RunFig7(ctx context.Context, base arch.Config, models []string, opt RunOpti
 			Strategy:  r.strategy,
 			TOPS:      r.TOPS,
 			EnergyMJ:  r.TotalMJ,
+			CompileMS: r.CompileMS,
+			SimMS:     r.SimMS,
 		})
 	}
 	return rows, nil
@@ -191,6 +210,8 @@ func runSweep(ctx context.Context, base arch.Config, models []string, strategies
 			NoCMJ:      r.Metrics.NoCMJ,
 			TotalMJ:    r.Metrics.EnergyMJ,
 			Cycles:     r.Metrics.Cycles,
+			CompileMS:  ms(r.CompileTime),
+			SimMS:      ms(r.SimTime),
 			strategy:   p.Strategy,
 		})
 	}
@@ -200,9 +221,9 @@ func runSweep(ctx context.Context, base arch.Config, models []string, strategies
 // Fig6Table renders Fig. 6 rows.
 func Fig6Table(rows []Fig6Row) *report.Table {
 	t := report.New("Fig. 6: energy breakdown and throughput vs MG size and NoC flit width (generic mapping)",
-		"model", "mg_size", "flit_B", "tops", "E_localmem_mJ", "E_compute_mJ", "E_noc_mJ", "E_total_mJ")
+		"model", "mg_size", "flit_B", "tops", "E_localmem_mJ", "E_compute_mJ", "E_noc_mJ", "E_total_mJ", "compile_ms", "sim_ms")
 	for _, r := range rows {
-		t.Add(r.Model, r.MGSize, r.FlitBytes, r.TOPS, r.LocalMemMJ, r.ComputeMJ, r.NoCMJ, r.TotalMJ)
+		t.Add(r.Model, r.MGSize, r.FlitBytes, r.TOPS, r.LocalMemMJ, r.ComputeMJ, r.NoCMJ, r.TotalMJ, r.CompileMS, r.SimMS)
 	}
 	return t
 }
@@ -210,9 +231,9 @@ func Fig6Table(rows []Fig6Row) *report.Table {
 // Fig7Table renders Fig. 7 rows.
 func Fig7Table(rows []Fig7Row) *report.Table {
 	t := report.New("Fig. 7: SW/HW design space (energy vs throughput by MG size, flit width, strategy)",
-		"model", "mg_size", "flit_B", "strategy", "tops", "energy_mJ")
+		"model", "mg_size", "flit_B", "strategy", "tops", "energy_mJ", "compile_ms", "sim_ms")
 	for _, r := range rows {
-		t.Add(r.Model, r.MGSize, r.FlitBytes, r.Strategy.String(), r.TOPS, r.EnergyMJ)
+		t.Add(r.Model, r.MGSize, r.FlitBytes, r.Strategy.String(), r.TOPS, r.EnergyMJ, r.CompileMS, r.SimMS)
 	}
 	return t
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"cimflow/internal/compiler"
 	"cimflow/internal/core"
@@ -49,6 +50,12 @@ type PointResult struct {
 	Err     error
 	// Cached marks a point skipped because the checkpoint already held it.
 	Cached bool
+	// CompileTime and SimTime split the point's wall-clock cost between
+	// the compile stage (near zero on a compile-cache hit) and the
+	// simulation, so compile-bound sweep rows are measurable directly.
+	// Both are zero for checkpoint-restored points.
+	CompileTime time.Duration
+	SimTime     time.Duration
 }
 
 // RunOptions configures a sweep execution.
@@ -170,21 +177,28 @@ func runPoint(ctx context.Context, p Point, cache *CompileCache, opt RunOptions)
 	if g == nil {
 		return PointResult{Point: p, Err: fmt.Errorf("dse: unknown model %q", p.Model)}
 	}
+	start := time.Now()
 	compiled, err := cache.Compile(g, &p.Config, compiler.Options{Strategy: p.Strategy})
+	compileTime := time.Since(start)
 	if err != nil {
-		return PointResult{Point: p, Err: fmt.Errorf("dse: compile %s: %w", p.Label(), err)}
+		return PointResult{Point: p, CompileTime: compileTime,
+			Err: fmt.Errorf("dse: compile %s: %w", p.Label(), err)}
 	}
 	ws := model.NewSeededWeights(g, p.Seed)
 	input := model.SeededInput(g.Nodes[0].OutShape, p.Seed+1)
+	start = time.Now()
 	res, err := core.Simulate(ctx, compiled, ws, input, core.Options{
 		Strategy:   p.Strategy,
 		Seed:       p.Seed,
 		CycleLimit: opt.CycleLimit,
 	})
+	simTime := time.Since(start)
 	if err != nil {
-		return PointResult{Point: p, Err: fmt.Errorf("dse: simulate %s: %w", p.Label(), err)}
+		return PointResult{Point: p, CompileTime: compileTime, SimTime: simTime,
+			Err: fmt.Errorf("dse: simulate %s: %w", p.Label(), err)}
 	}
-	return PointResult{Point: p, Metrics: metricsOf(res), Result: res}
+	return PointResult{Point: p, Metrics: metricsOf(res), Result: res,
+		CompileTime: compileTime, SimTime: simTime}
 }
 
 // Sweep expands a spec against its base configuration and runs it: the

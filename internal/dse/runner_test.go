@@ -236,3 +236,49 @@ func TestOnResultCallback(t *testing.T) {
 		}
 	}
 }
+
+// TestRunReportsCompileSimSplit: every successful point carries a non-zero
+// simulate time, cache-hit points report (near-)zero compile time relative
+// to the miss that built the artifact, and checkpoint-restored points
+// report zero for both.
+func TestRunReportsCompileSimSplit(t *testing.T) {
+	spec := tinySpec()
+	base := arch.DefaultConfig()
+	points, err := spec.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCompileCache()
+	results, err := Run(context.Background(), points, RunOptions{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("point %d: %v", i, r.Err)
+		}
+		if r.SimTime <= 0 {
+			t.Errorf("point %d: SimTime = %v, want > 0", i, r.SimTime)
+		}
+		if r.CompileTime <= 0 {
+			t.Errorf("point %d: CompileTime = %v, want > 0", i, r.CompileTime)
+		}
+	}
+	// Restored points carry no timing: they did no work.
+	cp := NewCheckpoint("")
+	for i := range results {
+		cp.Record(checkpointKey(&results[i].Point, RunOptions{}), &results[i])
+	}
+	restored, err := Run(context.Background(), points, RunOptions{Workers: 1, Cache: cache, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range restored {
+		if !r.Cached {
+			t.Fatalf("point %d not restored", i)
+		}
+		if r.CompileTime != 0 || r.SimTime != 0 {
+			t.Errorf("restored point %d reports timing %v/%v", i, r.CompileTime, r.SimTime)
+		}
+	}
+}
