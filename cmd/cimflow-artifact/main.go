@@ -1,0 +1,180 @@
+// Command cimflow-artifact inspects and maintains a compile-artifact
+// store (the directory cimflow-serve -artifact-dir and cimflow-dse
+// -cache-dir share compiles through):
+//
+//	cimflow-artifact list   <dir>          # one line per stored artifact
+//	cimflow-artifact info   <dir> <key>    # full metadata of one artifact
+//	cimflow-artifact verify <dir>          # full decode of every artifact
+//	cimflow-artifact gc     <dir>          # sweep corrupt + stray files
+//	cimflow-artifact gc     <dir> -max-mb 256   # also enforce a size cap
+//
+// list, info and verify take a shared directory lock and run safely next
+// to live servers and sweeps. gc needs the directory exclusively — it
+// refuses with "store in use" while any other process has it open.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"cimflow"
+	"cimflow/internal/artifact"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cimflow-artifact:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return errors.New("usage: cimflow-artifact {list|info|verify|gc} <store-dir> [args]")
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return usage()
+	}
+	cmd, dir := args[0], args[1]
+	rest := args[2:]
+	switch cmd {
+	case "list":
+		return withStore(dir, list)
+	case "info":
+		if len(rest) != 1 {
+			return errors.New("usage: cimflow-artifact info <store-dir> <key>")
+		}
+		return withStore(dir, func(s *cimflow.ArtifactStore) error { return info(s, rest[0]) })
+	case "verify":
+		return withStore(dir, verify)
+	case "gc":
+		fs := flag.NewFlagSet("gc", flag.ContinueOnError)
+		maxMB := fs.Int64("max-mb", 0, "evict least-recently-used artifacts beyond this total size (0 = no cap)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		return gc(dir, *maxMB)
+	default:
+		return usage()
+	}
+}
+
+// withStore runs f under a shared store lock, coexisting with live
+// servers and sweeps.
+func withStore(dir string, f func(*cimflow.ArtifactStore) error) error {
+	s, err := cimflow.OpenArtifactStore(dir)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return f(s)
+}
+
+func list(s *cimflow.ArtifactStore) error {
+	entries, err := s.List()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("store is empty")
+		return nil
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "KEY\tMODEL\tSTRATEGY\tCORES\tINSTRS\tGLOBAL\tSIZE\tLAST USED")
+	var total int64
+	for _, e := range entries {
+		if e.Err != nil {
+			fmt.Fprintf(w, "%s\t(unreadable: %v)\n", e.Key, e.Err)
+			continue
+		}
+		m := e.Meta
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%s\t%s\t%s\n",
+			e.Key, m.GraphName, m.Strategy, m.Cores, m.Instructions,
+			sizeStr(int64(m.GlobalBytes)), sizeStr(e.Size),
+			e.ModTime.Format("2006-01-02 15:04:05"))
+		total += e.Size
+	}
+	w.Flush()
+	fmt.Printf("%d artifact(s), %s\n", len(entries), sizeStr(total))
+	return nil
+}
+
+func info(s *cimflow.ArtifactStore, key string) error {
+	c, meta, err := s.Load(key)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("key:              %s\n", key)
+	fmt.Printf("codec version:    %d\n", meta.Version)
+	fmt.Printf("model:            %s (%d nodes)\n", meta.GraphName, len(c.Graph.Nodes))
+	fmt.Printf("graph fp:         %s\n", meta.GraphFP)
+	fmt.Printf("config fp:        %s\n", meta.ConfigFP)
+	fmt.Printf("architecture:     %s\n", c.Cfg.Name)
+	fmt.Printf("strategy:         %s\n", meta.Strategy)
+	fmt.Printf("cores:            %d\n", meta.Cores)
+	fmt.Printf("instructions:     %d\n", meta.Instructions)
+	fmt.Printf("global memory:    %s\n", sizeStr(int64(meta.GlobalBytes)))
+	fmt.Printf("plan stages:      %d (estimated %.0f cycles)\n",
+		len(c.Plan.Stages), c.Plan.EstimatedCycles)
+	return nil
+}
+
+func verify(s *cimflow.ArtifactStore) error {
+	entries, err := s.List()
+	if err != nil {
+		return err
+	}
+	bad, err := s.Verify()
+	if err != nil {
+		return err
+	}
+	if len(bad) == 0 {
+		fmt.Printf("ok: %d artifact(s) decode cleanly\n", len(entries))
+		return nil
+	}
+	keys := make([]string, 0, len(bad))
+	for k := range bad {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("BAD %s: %v\n", k, bad[k])
+	}
+	return fmt.Errorf("%d of %d artifact(s) failed verification (run gc to sweep them)",
+		len(bad), len(entries))
+}
+
+func gc(dir string, maxMB int64) error {
+	var opts []cimflow.StoreOption
+	if maxMB > 0 {
+		opts = append(opts, cimflow.WithStoreMaxBytes(maxMB<<20))
+	}
+	// Exclusive: gc removes files, so no other process may hold the store.
+	s, err := artifact.OpenExclusive(dir, opts...)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	removed, freed, err := s.GC()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: removed %d file(s), freed %s\n", removed, sizeStr(freed))
+	return nil
+}
+
+func sizeStr(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

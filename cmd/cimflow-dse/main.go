@@ -50,6 +50,7 @@ func main() {
 func run() error {
 	specPath := flag.String("spec", "", "sweep spec JSON file (required unless -example)")
 	workers := flag.Int("j", 0, "worker-pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "compile-artifact store directory: sweep shards running as separate processes share compiles through it")
 	csvPath := flag.String("csv", "", "write the result table as CSV to this file")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file: resume done points, record progress")
 	paretoOnly := flag.Bool("pareto", false, "print only the Pareto-optimal rows")
@@ -83,6 +84,14 @@ func run() error {
 	}
 
 	opt := cimflow.SweepOptions{Workers: *workers, Cache: cimflow.NewCompileCache()}
+	if *cacheDir != "" {
+		store, err := cimflow.OpenArtifactStore(*cacheDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		opt.Cache.SetStore(store)
+	}
 	if *ckptPath != "" {
 		ckpt, err := dse.LoadCheckpoint(*ckptPath)
 		if err != nil {
@@ -143,6 +152,11 @@ func run() error {
 	fmt.Printf("\n%d point(s) in %v: %d compiles, %d cache hits, %d failed\n",
 		len(results), time.Since(start).Round(time.Millisecond),
 		cache.CompileCalls(), cache.Hits(), failed)
+	if store := cache.Store(); store != nil {
+		st := store.Stats()
+		fmt.Printf("artifact store %s: %d loaded, %d saved, %d evicted\n",
+			store.Dir(), st.Loads, st.Saves, st.Evictions)
+	}
 	printBest := func(name string, score func(cimflow.SweepMetrics) float64) {
 		if b, ok := cimflow.BestPoint(results, score); ok {
 			fmt.Printf("best %-7s %-40s %8.3f TOPS  %10.4f mJ\n",

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"cimflow/internal/artifact"
 	"cimflow/internal/compiler"
 	"cimflow/internal/core"
 	"cimflow/internal/dse"
@@ -33,6 +34,7 @@ type Option func(*settings)
 type settings struct {
 	core.Options
 	cache *dse.CompileCache
+	store *artifact.Store
 }
 
 // WithStrategy selects the CG-level compilation strategy (default:
@@ -76,6 +78,17 @@ func WithCompileCache(c *CompileCache) Option {
 	return func(o *settings) { o.cache = c }
 }
 
+// WithArtifactStore attaches an on-disk artifact store as the engine
+// compile cache's second tier (memory → store → compile): compiles missing
+// in memory are loaded from the store when present, fresh compiles are
+// persisted for the next process, and a warm restart skips compilation
+// entirely. The engine takes ownership of the store — Engine.Close closes
+// it. Engine-level only; it configures the engine's cache at NewEngine
+// time and is ignored by Session.
+func WithArtifactStore(s *ArtifactStore) Option {
+	return func(o *settings) { o.store = s }
+}
+
 // Engine is the reusable entry point of the framework: one architecture
 // plus a compile cache and per-(model, strategy) inference Sessions. Where
 // the deprecated Run recompiled the model and rebuilt the chip on every
@@ -91,6 +104,7 @@ type Engine struct {
 	cfg      Config
 	defaults settings
 	cache    *dse.CompileCache
+	store    *artifact.Store
 
 	mu       sync.Mutex
 	sessions map[sessionKey]*sessionEntry
@@ -141,6 +155,10 @@ func NewEngine(cfg Config, opts ...Option) (*Engine, error) {
 	if e.cache == nil {
 		e.cache = dse.NewCompileCache()
 	}
+	if e.defaults.store != nil {
+		e.store = e.defaults.store
+		e.cache.SetStore(e.store)
+	}
 	return e, nil
 }
 
@@ -153,6 +171,13 @@ func (e *Engine) CompileCalls() int64 { return e.cache.CompileCalls() }
 
 // CacheHits reports how many compilations were served from the cache.
 func (e *Engine) CacheHits() int64 { return e.cache.Hits() }
+
+// StoreLoads reports how many compilations were satisfied by decoding an
+// artifact from the attached store (0 without WithArtifactStore).
+func (e *Engine) StoreLoads() int64 { return e.cache.StoreLoads() }
+
+// ArtifactStore returns the store attached with WithArtifactStore, or nil.
+func (e *Engine) ArtifactStore() *ArtifactStore { return e.store }
 
 // CompileContexts reports how many distinct graph frontends the engine's
 // compile cache holds: compilations are keyed on the frontend artifact, so
@@ -184,13 +209,14 @@ func (e *Engine) Sessions() int {
 }
 
 // Close closes every session the engine built — draining and releasing
-// their pooled chips — and marks the engine closed: Session and SessionFor
+// their pooled chips — marks the engine closed (Session and SessionFor
 // fail with ErrEngineClosed, and in-flight inferences on existing sessions
-// finish before their chips are dropped. Close is idempotent.
+// finish before their chips are dropped), and closes the attached artifact
+// store, releasing its directory lock. Close is idempotent.
 func (e *Engine) Close() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return nil
 	}
 	e.closed = true
@@ -198,6 +224,12 @@ func (e *Engine) Close() error {
 		if s := entry.session(); s != nil {
 			s.Close()
 		}
+	}
+	e.mu.Unlock()
+	// Outside the engine lock: a store close waits on nothing internal,
+	// but keeping lock scopes minimal mirrors the rest of the engine.
+	if e.store != nil {
+		return e.store.Close()
 	}
 	return nil
 }
@@ -255,7 +287,7 @@ func (e *Engine) Session(g *Graph, opts ...Option) (*Session, error) {
 		// key await a single compilation and a single weight-staging pass.
 		entry.once.Do(func() {
 			defer close(entry.ready)
-			compiled, err := cache.Compile(g, &e.cfg, compiler.Options{
+			compiled, info, err := cache.CompileWithInfo(g, &e.cfg, compiler.Options{
 				Strategy:        st.Strategy,
 				FullBufferLimit: st.FullBufferLimit,
 			})
@@ -268,7 +300,7 @@ func (e *Engine) Session(g *Graph, opts ...Option) (*Session, error) {
 				entry.err = err
 				return
 			}
-			entry.s = &Session{inner: inner, graph: g}
+			entry.s = &Session{inner: inner, graph: g, compileInfo: info}
 		})
 		<-entry.ready
 		// The engine may have closed while this entry was building; its
@@ -315,12 +347,18 @@ func (e *Engine) SessionFor(name string, opts ...Option) (*Session, error) {
 // safe for concurrent use — the serving pattern is one Session shared by
 // many goroutines, each calling Infer with its own input.
 type Session struct {
-	inner *core.Session
-	graph *Graph
+	inner       *core.Session
+	graph       *Graph
+	compileInfo dse.CompileInfo
 }
 
 // Graph returns the model the session runs.
 func (s *Session) Graph() *Graph { return s.graph }
+
+// CompileInfo reports how this session's compiled artifact was produced —
+// fresh compile, artifact-store load, or in-memory cache hit — and how
+// long that production took, so operators can see warm-start wins.
+func (s *Session) CompileInfo() CompileInfo { return s.compileInfo }
 
 // Compiled returns the compiled artifact (programs, plan, layout).
 func (s *Session) Compiled() *Compiled { return s.inner.Compiled() }

@@ -1,0 +1,141 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+func compileTiny(t testing.TB, name string, strat compiler.Strategy) (*compiler.Compiled, compiler.Options) {
+	t.Helper()
+	cfg := arch.DefaultConfig()
+	opt := compiler.Options{Strategy: strat}
+	c, err := compiler.Compile(model.Zoo(name), &cfg, opt)
+	if err != nil {
+		t.Fatalf("compiling %s: %v", name, err)
+	}
+	return c, opt
+}
+
+// TestEncodeDeterministic pins the codec's byte stability: encoding the
+// same compile twice is identical, and encode→decode→re-encode reproduces
+// the original file byte for byte (the acceptance criterion that makes
+// content addressing meaningful).
+func TestEncodeDeterministic(t *testing.T) {
+	for _, name := range []string{"tinycnn", "tinymlp", "tinyresnet"} {
+		c, opt := compileTiny(t, name, compiler.StrategyDP)
+		first, err := Encode(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Encode(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%s: two encodings of one compile differ", name)
+		}
+		decoded, meta, err := Decode(first)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		reencoded, err := Encode(decoded, meta.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, reencoded) {
+			t.Fatalf("%s: encode→decode→re-encode is not byte-stable", name)
+		}
+	}
+}
+
+// TestDecodeMeta checks the header survives the round trip and describes
+// the artifact accurately, both via full Decode and the header-only
+// ReadMeta path.
+func TestDecodeMeta(t *testing.T) {
+	c, opt := compileTiny(t, "tinycnn", compiler.StrategyDuplication)
+	data, err := Encode(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerOnly, err := ReadMeta(data[:200])
+	if err != nil {
+		t.Fatalf("ReadMeta on 200-byte prefix: %v", err)
+	}
+	if headerOnly != meta {
+		t.Fatalf("ReadMeta %+v != Decode meta %+v", headerOnly, meta)
+	}
+	if meta.GraphName != "tinycnn" || meta.Strategy != compiler.StrategyDuplication {
+		t.Fatalf("meta misdescribes artifact: %+v", meta)
+	}
+	if meta.GraphFP != GraphFingerprint(c.Graph) || meta.ConfigFP != ConfigFingerprint(c.Cfg) {
+		t.Fatal("meta fingerprints disagree with content fingerprints")
+	}
+	if meta.Cores != len(c.Programs) || meta.GlobalBytes != c.GlobalBytes() {
+		t.Fatalf("meta summary wrong: %+v", meta)
+	}
+	if meta.Key() != Key(c.Graph, c.Cfg, opt) {
+		t.Fatal("meta key disagrees with content key")
+	}
+}
+
+// TestDecodeRejectsDamage walks every byte of a real artifact, flips one
+// bit, and requires decode to fail with a typed error — the whole-file
+// checksum plus structural validation must leave no silent corruption.
+// Truncations at every length must fail the same way.
+func TestDecodeRejectsDamage(t *testing.T) {
+	c, opt := compileTiny(t, "tinymlp", compiler.StrategyGeneric)
+	data, err := Encode(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := 1
+	if testing.Short() || raceEnabled {
+		stride = 37
+	}
+	for i := 0; i < len(data); i += stride {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x40
+		if _, _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully", i)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("bit flip at byte %d: untyped error %v", i, err)
+		}
+	}
+	for n := 0; n < len(data); n += stride {
+		if _, _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", n, err)
+		}
+	}
+}
+
+// TestDecodeRejectsVersions pins the version gate: future codec versions
+// and non-artifact files fail with ErrVersion specifically.
+func TestDecodeRejectsVersions(t *testing.T) {
+	c, opt := compileTiny(t, "tinycnn", compiler.StrategyGeneric)
+	data, err := Encode(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := bytes.Clone(data)
+	bumped[4]++ // version low byte
+	if _, _, err := Decode(bumped); !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: %v", err)
+	}
+	if _, _, err := Decode([]byte("not an artifact at all, clearly")); !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("non-artifact: %v", err)
+	}
+	if _, err := ReadMeta([]byte("ELF\x7f junk")); !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadMeta non-artifact: %v", err)
+	}
+}

@@ -1,0 +1,29 @@
+package artifact
+
+import (
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+func BenchmarkDecodeVGG19(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	opt := compiler.Options{Strategy: compiler.StrategyDP}
+	c, err := compiler.Compile(model.Zoo("vgg19"), &cfg, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := Encode(c, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

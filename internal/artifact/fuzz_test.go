@@ -1,0 +1,67 @@
+package artifact
+
+import (
+	"errors"
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/model"
+)
+
+// FuzzDecodeArtifact hardens the decoder against hostile input: whatever
+// bytes arrive, Decode must return a typed error or a valid artifact —
+// never panic, and never allocate unboundedly (every length prefix is
+// validated against the remaining input before allocation). The corpus is
+// seeded with real encoded zoo artifacts both whole and with the checksum
+// trailer stripped: the stripped form feeds decodeVerified, the
+// structural path a whole-file checksum would otherwise shield from the
+// fuzzer's single-byte mutations.
+func FuzzDecodeArtifact(f *testing.F) {
+	cfg := arch.DefaultConfig()
+	for _, name := range []string{"tinycnn", "tinymlp", "tinyse"} {
+		g := model.Zoo(name)
+		for _, strat := range []compiler.Strategy{compiler.StrategyGeneric, compiler.StrategyDP} {
+			opt := compiler.Options{Strategy: strat}
+			c, err := compiler.Compile(g, &cfg, opt)
+			if err != nil {
+				f.Fatal(err)
+			}
+			data, err := Encode(c, opt)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+			f.Add(data[:len(data)-checksumLen])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CFAR"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4<<20 {
+			return
+		}
+		// Full path: checksum, structure, fingerprints, reconstruction.
+		if c, _, err := Decode(data); err == nil {
+			if c == nil {
+				t.Fatal("Decode returned no artifact and no error")
+			}
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// Checksum-skipping path: lets mutations reach the structural
+		// decoder instead of dying at the digest.
+		if c, _, err := decodeVerified(data); err == nil {
+			if c == nil {
+				t.Fatal("decodeVerified returned no artifact and no error")
+			}
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("untyped structural error: %v", err)
+		}
+		// Header-only path used by store listings.
+		if _, err := ReadMeta(data); err != nil &&
+			!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("untyped meta error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package artifact
+
+import "os"
+
+// Advisory directory locking is best-effort on platforms without flock:
+// stores open without cross-process exclusion. Single-process use — the
+// common case — is still fully synchronized in-process, and writes remain
+// atomic via temp-file + rename.
+func lockHandle(f *os.File, exclusive bool) error { return nil }
+
+func unlockHandle(f *os.File) error { return nil }

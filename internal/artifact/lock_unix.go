@@ -1,0 +1,30 @@
+//go:build unix
+
+package artifact
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockHandle takes an advisory flock on the store's lock file: shared for
+// normal stores, exclusive for maintenance. Non-blocking — a conflicting
+// holder in any process yields ErrStoreBusy immediately. flock locks are
+// per open file description, so two stores in one process conflict exactly
+// like two processes do, which is what the two-process tests rely on.
+func lockHandle(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return ErrStoreBusy
+	}
+	return err
+}
+
+func unlockHandle(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,14 +1,13 @@
 package dse
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cimflow/internal/arch"
+	"cimflow/internal/artifact"
 	"cimflow/internal/compiler"
 	"cimflow/internal/model"
 )
@@ -17,17 +16,9 @@ import (
 // hex SHA-256 of its canonical JSON encoding with the cosmetic Name field
 // cleared. Two configs agree on the fingerprint iff every architectural
 // parameter agrees, so it is safe as a compile-cache and checkpoint key.
-func Fingerprint(cfg *arch.Config) string {
-	c := *cfg
-	c.Name = ""
-	data, err := json.Marshal(&c)
-	if err != nil {
-		// Config is a plain struct of scalars; Marshal cannot fail.
-		panic(fmt.Sprintf("dse: fingerprinting config: %v", err))
-	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:16])
-}
+// (The implementation lives in internal/artifact, which shares the
+// fingerprint as its on-disk content address.)
+func Fingerprint(cfg *arch.Config) string { return artifact.ConfigFingerprint(cfg) }
 
 // GraphFingerprint returns a stable structural identity for a model: the
 // hex SHA-256 over every node's printed field values (the cosmetic graph
@@ -35,15 +26,9 @@ func Fingerprint(cfg *arch.Config) string {
 // node, shape and quantization parameter agrees, so distinct models that
 // happen to share a Name (e.g. iterations of a user-built graph) never
 // share a compiled artifact. Unlike a JSON encoding, fmt tolerates
-// non-finite quantization scales in user-built graphs.
-func GraphFingerprint(g *model.Graph) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "%d", len(g.Nodes))
-	for _, n := range g.Nodes {
-		fmt.Fprintf(h, "|%+v", *n)
-	}
-	return hex.EncodeToString(h.Sum(nil)[:16])
-}
+// non-finite quantization scales in user-built graphs. (Implementation
+// shared with internal/artifact's content addressing.)
+func GraphFingerprint(g *model.Graph) string { return artifact.GraphFingerprint(g) }
 
 // cacheKey identifies one compiled artifact: the model's structural
 // fingerprint (name kept as a debuggable prefix), the hardware fingerprint
@@ -53,12 +38,47 @@ func cacheKey(g *model.Graph, cfg *arch.Config, opt compiler.Options) string {
 		g.Name, GraphFingerprint(g), Fingerprint(cfg), opt.Strategy, opt.MaxClosures, opt.FullBufferLimit)
 }
 
+// CompileSource says where a compiled artifact came from.
+type CompileSource int
+
+const (
+	// SourceFresh: the compiler ran.
+	SourceFresh CompileSource = iota
+	// SourceStore: decoded from the attached artifact store.
+	SourceStore
+	// SourceMemory: served from this cache's in-memory tier.
+	SourceMemory
+)
+
+// String names the source for logs.
+func (s CompileSource) String() string {
+	switch s {
+	case SourceFresh:
+		return "compiled"
+	case SourceStore:
+		return "loaded from store"
+	case SourceMemory:
+		return "cached in memory"
+	}
+	return fmt.Sprintf("CompileSource(%d)", int(s))
+}
+
+// CompileInfo reports how a compile was satisfied: the tier that produced
+// the artifact and how long that production took. For SourceMemory the
+// duration is the original cost of filling the entry, not the (trivial)
+// lookup time.
+type CompileInfo struct {
+	Source   CompileSource
+	Duration time.Duration
+}
+
 // cacheEntry is one singleflight compilation slot: the first caller
 // compiles, concurrent and later callers share the result.
 type cacheEntry struct {
 	once     sync.Once
 	cfg      arch.Config // cache-owned copy referenced by compiled.Cfg
 	compiled *compiler.Compiled
+	info     CompileInfo
 	err      error
 }
 
@@ -79,11 +99,13 @@ type ctxEntry struct {
 // for concurrent use; a point compiled by one worker is awaited, not
 // recompiled, by the others.
 type CompileCache struct {
-	mu       sync.Mutex
-	entries  map[string]*cacheEntry
-	ctxs     map[string]*ctxEntry
-	compiles atomic.Int64
-	hits     atomic.Int64
+	mu         sync.Mutex
+	store      *artifact.Store
+	entries    map[string]*cacheEntry
+	ctxs       map[string]*ctxEntry
+	compiles   atomic.Int64
+	hits       atomic.Int64
+	storeLoads atomic.Int64
 }
 
 // NewCompileCache returns an empty cache.
@@ -116,11 +138,30 @@ func (c *CompileCache) Contexts() int {
 	return len(c.ctxs)
 }
 
+// SetStore attaches an on-disk artifact store as the cache's second tier:
+// a memory miss loads from the store before compiling, and fresh compiles
+// are persisted for the next process. The caller keeps ownership of the
+// store's lifecycle (Close). Attach before concurrent use.
+func (c *CompileCache) SetStore(s *artifact.Store) { c.store = s }
+
+// Store returns the attached store tier, if any.
+func (c *CompileCache) Store() *artifact.Store { return c.store }
+
 // Compile returns the compiled artifact for (g, cfg, opt), compiling at
 // most once per distinct key through the graph's shared CompileContext.
 // The returned Compiled references a cache-owned copy of cfg, so callers
 // may let cfg go out of scope.
 func (c *CompileCache) Compile(g *model.Graph, cfg *arch.Config, opt compiler.Options) (*compiler.Compiled, error) {
+	compiled, _, err := c.CompileWithInfo(g, cfg, opt)
+	return compiled, err
+}
+
+// CompileWithInfo is Compile plus provenance: which tier satisfied the
+// call (fresh compile, store load, or in-memory hit) and how long the
+// artifact originally took to produce. Lookup order is memory → store →
+// compile; fresh compiles are written back to the store when one is
+// attached.
+func (c *CompileCache) CompileWithInfo(g *model.Graph, cfg *arch.Config, opt compiler.Options) (*compiler.Compiled, CompileInfo, error) {
 	key := cacheKey(g, cfg, opt)
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -132,16 +173,36 @@ func (c *CompileCache) Compile(g *model.Graph, cfg *arch.Config, opt compiler.Op
 	if ok {
 		c.hits.Add(1)
 	}
+	leader := false
 	e.once.Do(func() {
-		c.compiles.Add(1)
-		cx, err := c.Context(g)
-		if err != nil {
-			e.err = err
-			return
+		leader = true
+		start := time.Now()
+		e.info.Source = SourceFresh
+		compile := func() (*compiler.Compiled, error) {
+			c.compiles.Add(1)
+			cx, err := c.Context(g)
+			if err != nil {
+				return nil, err
+			}
+			return cx.Compile(&e.cfg, opt)
 		}
-		e.compiled, e.err = cx.Compile(&e.cfg, opt)
+		if c.store != nil {
+			var fromStore bool
+			e.compiled, fromStore, e.err = c.store.GetOrCompile(g, &e.cfg, opt, compile)
+			if fromStore {
+				e.info.Source = SourceStore
+				c.storeLoads.Add(1)
+			}
+		} else {
+			e.compiled, e.err = compile()
+		}
+		e.info.Duration = time.Since(start)
 	})
-	return e.compiled, e.err
+	info := e.info
+	if !leader {
+		info.Source = SourceMemory
+	}
+	return e.compiled, info, e.err
 }
 
 // CompileCalls reports how many real compiler.Compile invocations the
@@ -150,6 +211,10 @@ func (c *CompileCache) CompileCalls() int64 { return c.compiles.Load() }
 
 // Hits reports how many lookups were served from the cache.
 func (c *CompileCache) Hits() int64 { return c.hits.Load() }
+
+// StoreLoads reports how many compiles were satisfied by decoding an
+// artifact from the attached store instead of running the compiler.
+func (c *CompileCache) StoreLoads() int64 { return c.storeLoads.Load() }
 
 // Len reports the number of distinct compiled artifacts held.
 func (c *CompileCache) Len() int {

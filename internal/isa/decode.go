@@ -110,6 +110,26 @@ func Predecode(code []Instruction) ([]Decoded, error) {
 	return out, nil
 }
 
+// PredecodeProgram decodes raw instruction words and lowers them to their
+// micro-op form in one streaming pass. It is equivalent to DecodeProgram
+// followed by Predecode, but the artifact-load hot path uses it to avoid
+// traversing the multi-megabyte instruction slices of large models twice.
+func PredecodeProgram(words []uint32) ([]Instruction, []Decoded, error) {
+	code := make([]Instruction, len(words))
+	dec := make([]Decoded, len(words))
+	n := len(words)
+	t := opTable.Load()
+	for pc, w := range words {
+		if err := decodeInto(t, w, &code[pc]); err != nil {
+			return nil, nil, fmt.Errorf("at word %d: %w", pc, err)
+		}
+		if err := predecodeOne(&dec[pc], code[pc], pc, n); err != nil {
+			return nil, nil, fmt.Errorf("isa: predecode pc %d [%s]: %w", pc, code[pc], err)
+		}
+	}
+	return code, dec, nil
+}
+
 func predecodeOne(d *Decoded, in Instruction, pc, n int) error {
 	d.RS, d.RT, d.RE, d.RD = in.RS, in.RT, in.RE, in.RD
 	d.Imm, d.Flags = in.Imm, in.Flags

@@ -70,17 +70,27 @@ func Encode(in Instruction) (uint32, error) {
 
 // Decode unpacks a 32-bit instruction word.
 func Decode(w uint32) (Instruction, error) {
-	op := Opcode(w >> opShift & opcodeMask)
-	d, ok := Lookup(op)
-	if !ok {
-		return Instruction{}, fmt.Errorf("isa: decode: unknown opcode %d in word %#08x", op, w)
+	var in Instruction
+	if err := decodeInto(opTable.Load(), w, &in); err != nil {
+		return Instruction{}, err
 	}
-	in := Instruction{
+	return in, nil
+}
+
+// decodeInto unpacks one word directly into *in against a caller-held
+// dispatch table, so bulk decoders (PredecodeProgram) pay the atomic table
+// load once per program rather than once per word.
+func decodeInto(t *[64]opSlot, w uint32, in *Instruction) error {
+	op := Opcode(w >> opShift & opcodeMask)
+	if t == nil || !t[op].ok {
+		return fmt.Errorf("isa: decode: unknown opcode %d in word %#08x", op, w)
+	}
+	*in = Instruction{
 		Op: op,
 		RS: uint8(w >> rsShift & regMask),
 		RT: uint8(w >> rtShift & regMask),
 	}
-	switch d.Format {
+	switch t[op].d.Format {
 	case FormatR:
 		in.RE = uint8(w >> reShift & regMask)
 		in.RD = uint8(w >> rdShift & regMask)
@@ -97,7 +107,7 @@ func Decode(w uint32) (Instruction, error) {
 		in.RD = uint8(w >> reShift & regMask)
 		in.Imm = signExtend(w&imm11Mask, 11)
 	}
-	return in, nil
+	return nil
 }
 
 // EncodeProgram encodes a sequence of instructions into binary words.

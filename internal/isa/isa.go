@@ -242,8 +242,8 @@ func FormatOf(op Opcode) Format {
 
 // UnitOf returns the execution unit an opcode dispatches to.
 func UnitOf(op Opcode) Unit {
-	if d, ok := Lookup(op); ok {
-		return d.Unit
+	if s := slot(op); s != nil {
+		return s.d.Unit
 	}
 	return UnitScalar
 }

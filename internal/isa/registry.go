@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Descriptor is the instruction description template through which new
@@ -36,12 +37,33 @@ type Descriptor struct {
 	EnergyClass string
 }
 
+// opSlot is one entry of the opcode dispatch table.
+type opSlot struct {
+	d  Descriptor
+	ok bool
+}
+
 var (
-	regMu     sync.RWMutex
-	byOpcode  = map[Opcode]*Descriptor{}
+	regMu     sync.Mutex // guards registration state and opTable rebuilds
 	byName    = map[string]*Descriptor{}
 	nameOrder []string
+	// opTable is the read side of the registry: a copy-on-write array
+	// indexed by the 6-bit opcode, swapped atomically on every Register/
+	// Unregister. Lookup is on the per-instruction hot path of decoding,
+	// predecoding and simulation — an atomic load plus an array index,
+	// with no lock traffic shared between cores.
+	opTable atomic.Pointer[[64]opSlot]
 )
+
+// rebuildTable publishes a fresh opcode table from byName. Callers hold
+// regMu.
+func rebuildTable() {
+	var t [64]opSlot
+	for _, d := range byName {
+		t[d.Op] = opSlot{d: *d, ok: true}
+	}
+	opTable.Store(&t)
+}
 
 // Register adds an instruction descriptor to the ISA. It returns an error if
 // the opcode or mnemonic is already taken, so architecture extensions cannot
@@ -52,19 +74,19 @@ func Register(d Descriptor) error {
 	if d.Name == "" {
 		return fmt.Errorf("isa: descriptor must have a name")
 	}
-	if _, ok := byOpcode[d.Op]; ok {
+	if d.Op > 63 {
+		return fmt.Errorf("isa: opcode %d exceeds 6-bit field", d.Op)
+	}
+	if t := opTable.Load(); t != nil && t[d.Op].ok {
 		return fmt.Errorf("isa: opcode %d already registered", d.Op)
 	}
 	if _, ok := byName[d.Name]; ok {
 		return fmt.Errorf("isa: mnemonic %q already registered", d.Name)
 	}
-	if d.Op > 63 {
-		return fmt.Errorf("isa: opcode %d exceeds 6-bit field", d.Op)
-	}
 	cp := d
-	byOpcode[d.Op] = &cp
 	byName[d.Name] = &cp
 	nameOrder = append(nameOrder, d.Name)
+	rebuildTable()
 	return nil
 }
 
@@ -81,31 +103,45 @@ func Unregister(name string) error {
 		return fmt.Errorf("isa: %q is a base instruction and cannot be unregistered", name)
 	}
 	delete(byName, name)
-	delete(byOpcode, d.Op)
 	for i, n := range nameOrder {
 		if n == name {
 			nameOrder = append(nameOrder[:i], nameOrder[i+1:]...)
 			break
 		}
 	}
+	rebuildTable()
+	return nil
+}
+
+// slot returns the registered descriptor for op without copying it, or nil.
+// Lock-free: one atomic load of the copy-on-write dispatch table plus an
+// array index. Hot-path callers (Decode, UnitOf — once per instruction in
+// decoding, predecoding and simulation) read single fields through the
+// pointer instead of copying the whole Descriptor; the table entries are
+// immutable once published.
+func slot(op Opcode) *opSlot {
+	t := opTable.Load()
+	if t == nil || op > 63 {
+		return nil
+	}
+	if s := &t[op]; s.ok {
+		return s
+	}
 	return nil
 }
 
 // Lookup returns the descriptor for an opcode.
 func Lookup(op Opcode) (Descriptor, bool) {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	d, ok := byOpcode[op]
-	if !ok {
-		return Descriptor{}, false
+	if s := slot(op); s != nil {
+		return s.d, true
 	}
-	return *d, true
+	return Descriptor{}, false
 }
 
 // LookupName returns the descriptor for a mnemonic.
 func LookupName(name string) (Descriptor, bool) {
-	regMu.RLock()
-	defer regMu.RUnlock()
+	regMu.Lock()
+	defer regMu.Unlock()
 	d, ok := byName[name]
 	if !ok {
 		return Descriptor{}, false
@@ -115,11 +151,15 @@ func LookupName(name string) (Descriptor, bool) {
 
 // All returns every registered descriptor sorted by opcode.
 func All() []Descriptor {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	out := make([]Descriptor, 0, len(byOpcode))
-	for _, d := range byOpcode {
-		out = append(out, *d)
+	t := opTable.Load()
+	if t == nil {
+		return nil
+	}
+	out := make([]Descriptor, 0, len(t))
+	for i := range t {
+		if t[i].ok {
+			out = append(out, t[i].d)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
 	return out
