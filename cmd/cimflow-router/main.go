@@ -1,0 +1,683 @@
+// Command cimflow-router fronts a fleet of replica serving backends with
+// the cluster router: consistent-hash placement, per-tenant priority
+// classes and quotas, hedged retries, health-checked ejection, and
+// Prometheus metrics. Replicas are either spawned in-process (-replicas,
+// sharing one -artifact-dir so compiled models load once from disk) or
+// remote cimflow-serve instances (-backends with base URLs).
+//
+//	cimflow-router -replicas 3 -models tinymlp,tinycnn -addr :8090
+//	cimflow-router -backends http://a:8080,http://b:8080 -models tinymlp
+//
+// HTTP API (wire-compatible with cimflow-serve, plus a tenant header):
+//
+//	POST /v1/models/{name}/infer   route one inference; the X-Cimflow-Tenant
+//	                               header selects the tenant contract
+//	GET  /v1/models                models served across the fleet
+//	GET  /v1/cluster               backend health and placement counters
+//	GET  /healthz                  liveness (200 while >=1 backend healthy)
+//	GET  /metrics                  Prometheus text format (JSON with ?format=json)
+//
+// The -replay mode replays a synthetic trace — diurnal ramps, bursts,
+// hot-model skew, a weighted tenant mix with per-tenant deadlines —
+// against the fleet open-loop and reports SLO attainment per tenant.
+// -slow-replica injects extra latency into one replica to demonstrate
+// hedging; -compare-hedge replays the same trace with hedging disabled
+// and enabled and prints the per-tenant tail-latency comparison.
+//
+//	cimflow-router -replay -replicas 3 -models tinymlp \
+//	    -tenants "gold:interactive:0:1:500ms,free:batch:50:3:1s" \
+//	    -rps 120 -duration 10s -slow-replica replica-1 -slow-delay 40ms -compare-hedge
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"cimflow"
+	"cimflow/internal/compiler"
+)
+
+type routerFlags struct {
+	addr     string
+	backends string
+	replicas int
+	models   string
+	archPath string
+	strategy string
+	seed     uint64
+	pool     int
+	artDir   string
+
+	workers  int
+	maxBatch int
+	maxDelay time.Duration
+	queue    int
+
+	hedgeDelay    time.Duration
+	hedgeBudget   float64
+	backendConc   int
+	checkInterval time.Duration
+	ejectAfter    int
+	readmitAfter  int
+	shedThreshold float64
+	vnodes        int
+	tenants       string
+
+	replay       bool
+	duration     time.Duration
+	rps          float64
+	diurnalAmp   float64
+	diurnalPer   time.Duration
+	bursts       string
+	modelSkew    float64
+	traceSeed    uint64
+	timeout      time.Duration
+	slowReplica  string
+	slowDelay    time.Duration
+	compareHedge bool
+	check        int
+}
+
+func main() {
+	var f routerFlags
+	flag.StringVar(&f.addr, "addr", ":8090", "HTTP listen address")
+	flag.StringVar(&f.backends, "backends", "", "comma-separated cimflow-serve base URLs; empty spawns in-process replicas")
+	flag.IntVar(&f.replicas, "replicas", 3, "in-process replica count (when -backends is empty)")
+	flag.StringVar(&f.models, "models", "tinymlp", "comma-separated models each replica serves")
+	flag.StringVar(&f.archPath, "arch", "", "architecture JSON (default: paper Table I)")
+	flag.StringVar(&f.strategy, "strategy", "dp", "compilation strategy: generic | duplication | dp")
+	flag.Uint64Var(&f.seed, "seed", 1, "synthetic-weight seed (replicas must agree for byte-identical outputs)")
+	flag.IntVar(&f.pool, "pool", 2, "pooled chips per replica session")
+	flag.StringVar(&f.artDir, "artifact-dir", "", "shared compile-artifact store: replicas load compiled models from disk")
+	flag.IntVar(&f.workers, "workers", 2, "per-replica dispatch workers")
+	flag.IntVar(&f.maxBatch, "max-batch", 8, "per-replica dynamic batcher: max requests per dispatch")
+	flag.DurationVar(&f.maxDelay, "max-delay", 2*time.Millisecond, "per-replica dynamic batcher: max wait to fill a batch")
+	flag.IntVar(&f.queue, "queue", 64, "per-replica per-model admission queue depth")
+	flag.DurationVar(&f.hedgeDelay, "hedge-delay", 25*time.Millisecond, "hedge a request on the successor replica after this long without a reply (0 disables)")
+	flag.Float64Var(&f.hedgeBudget, "hedge-budget", 0.1, "hedge tokens earned per admitted request (bounds extra load)")
+	flag.IntVar(&f.backendConc, "backend-concurrency", 64, "inflight ceiling per backend before the least-loaded fallback engages")
+	flag.DurationVar(&f.checkInterval, "check-interval", time.Second, "active health-check period (0 disables)")
+	flag.IntVar(&f.ejectAfter, "eject-after", 3, "consecutive failed checks before a backend is ejected")
+	flag.IntVar(&f.readmitAfter, "readmit-after", 2, "consecutive passing checks before re-admission")
+	flag.Float64Var(&f.shedThreshold, "shed-threshold", 0.75, "fleet load fraction above which batch-priority traffic is shed")
+	flag.IntVar(&f.vnodes, "vnodes", 64, "virtual nodes per backend on the hash ring")
+	flag.StringVar(&f.tenants, "tenants", "", `tenant contracts "name:priority[:rate[:weight[:deadline]]]",... (priority: batch|standard|interactive; rate 0 = unmetered; weight and deadline feed -replay)`)
+	flag.BoolVar(&f.replay, "replay", false, "replay a synthetic trace against the fleet instead of listening")
+	flag.DurationVar(&f.duration, "duration", 10*time.Second, "replay: trace length")
+	flag.Float64Var(&f.rps, "rps", 100, "replay: base offered arrival rate, requests/second")
+	flag.Float64Var(&f.diurnalAmp, "diurnal-amplitude", 0.3, "replay: sinusoidal rate swing as a fraction of -rps")
+	flag.DurationVar(&f.diurnalPer, "diurnal-period", 0, "replay: diurnal period (default: the trace duration)")
+	flag.StringVar(&f.bursts, "bursts", "", `replay: rate spikes "at/duration/multiplier",... e.g. "2s/1s/3"`)
+	flag.Float64Var(&f.modelSkew, "model-skew", 1, "replay: Zipf exponent for hot-model skew across -models")
+	flag.Uint64Var(&f.traceSeed, "trace-seed", 1, "replay: trace RNG seed")
+	flag.DurationVar(&f.timeout, "timeout", 2*time.Second, "replay: default per-request deadline for tenants without one")
+	flag.StringVar(&f.slowReplica, "slow-replica", "", "replay: inject -slow-delay extra latency into this backend (by name)")
+	flag.DurationVar(&f.slowDelay, "slow-delay", 30*time.Millisecond, "replay: injected latency for -slow-replica")
+	flag.BoolVar(&f.compareHedge, "compare-hedge", false, "replay: run the trace with hedging off then on and compare tail latency")
+	flag.IntVar(&f.check, "check", 8, "replay: byte-verify this many routed outputs per model against a direct session (local replicas only)")
+	flag.Parse()
+
+	if err := run(&f); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(f *routerFlags) error {
+	models := splitList(f.models)
+	if len(models) == 0 {
+		return fmt.Errorf("-models must name at least one model")
+	}
+	tenants, err := parseTenants(f.tenants, f.timeout)
+	if err != nil {
+		return err
+	}
+	if f.replay {
+		return runReplay(f, models, tenants)
+	}
+
+	fleet, err := buildFleet(f, models)
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	r, err := buildRouter(f, fleet, tenants, f.hedgeDelay)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	httpSrv := &http.Server{Addr: f.addr, Handler: newHandler(r)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Print("draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	log.Printf("routing %s across %d backends on %s (hedge %v budget %g, checks every %v)",
+		strings.Join(r.Models(), ","), len(r.Backends()), f.addr, f.hedgeDelay, f.hedgeBudget, f.checkInterval)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-drained
+	return nil
+}
+
+// --- fleet assembly ---
+
+// fleet owns the replica backends and whatever resources back them.
+type fleet struct {
+	backends []cimflow.ClusterBackend
+	closers  []func() error
+}
+
+func (fl *fleet) Close() {
+	for i := len(fl.closers) - 1; i >= 0; i-- {
+		if err := fl.closers[i](); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}
+}
+
+// buildFleet materializes the replicas: HTTP backends when -backends is
+// set, otherwise in-process servers each with its own engine and chip
+// pools (the shared -artifact-dir makes every replica after the first
+// load compiled models from disk instead of recompiling).
+func buildFleet(f *routerFlags, models []string) (*fleet, error) {
+	fl := &fleet{}
+	if f.backends != "" {
+		for _, base := range splitList(f.backends) {
+			b, err := cimflow.NewHTTPBackend(base)
+			if err != nil {
+				fl.Close()
+				return nil, err
+			}
+			fl.backends = append(fl.backends, maybeSlow(f, b))
+		}
+		return fl, nil
+	}
+
+	cfg := cimflow.DefaultConfig()
+	if f.archPath != "" {
+		var err error
+		if cfg, err = cimflow.LoadConfig(f.archPath); err != nil {
+			return nil, err
+		}
+	}
+	strat, err := compiler.ParseStrategy(f.strategy)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < f.replicas; i++ {
+		engineOpts := []cimflow.Option{
+			cimflow.WithStrategy(strat),
+			cimflow.WithSeed(f.seed),
+			cimflow.WithMaxPooledChips(f.pool),
+		}
+		if f.artDir != "" {
+			store, err := cimflow.OpenArtifactStore(f.artDir)
+			if err != nil {
+				fl.Close()
+				return nil, err
+			}
+			engineOpts = append(engineOpts, cimflow.WithArtifactStore(store))
+		}
+		engine, err := cimflow.NewEngine(cfg, engineOpts...)
+		if err != nil {
+			fl.Close()
+			return nil, err
+		}
+		fl.closers = append(fl.closers, engine.Close)
+		srv := cimflow.NewServer(engine,
+			cimflow.WithWorkers(f.workers),
+			cimflow.WithMaxBatch(f.maxBatch),
+			cimflow.WithMaxDelay(f.maxDelay),
+			cimflow.WithQueueDepth(f.queue))
+		for _, name := range models {
+			if err := srv.ServeModel(name); err != nil {
+				fl.Close()
+				return nil, err
+			}
+		}
+		fl.closers = append(fl.closers, srv.Close)
+		name := fmt.Sprintf("replica-%d", i)
+		fl.backends = append(fl.backends, maybeSlow(f, cimflow.NewLocalBackend(name, srv)))
+		log.Printf("replica %s up: %s", name, strings.Join(srv.Models(), ","))
+	}
+	return fl, nil
+}
+
+// maybeSlow wraps the named backend with the injected latency.
+func maybeSlow(f *routerFlags, b cimflow.ClusterBackend) cimflow.ClusterBackend {
+	if f.slowReplica != "" && b.Name() == f.slowReplica && f.slowDelay > 0 {
+		log.Printf("injecting %v latency into %s", f.slowDelay, b.Name())
+		return cimflow.DelayedBackend(b, f.slowDelay)
+	}
+	return b
+}
+
+func buildRouter(f *routerFlags, fl *fleet, tenants []tenantSpec, hedge time.Duration) (*cimflow.Router, error) {
+	opts := []cimflow.RouterOption{
+		cimflow.WithVirtualNodes(f.vnodes),
+		cimflow.WithHedgeDelay(hedge),
+		cimflow.WithHedgeBudget(f.hedgeBudget),
+		cimflow.WithBackendConcurrency(f.backendConc),
+		cimflow.WithCheckInterval(f.checkInterval),
+		cimflow.WithEjectAfter(f.ejectAfter),
+		cimflow.WithReadmitAfter(f.readmitAfter),
+		cimflow.WithPriorityShedThreshold(f.shedThreshold),
+	}
+	for _, t := range tenants {
+		opts = append(opts, cimflow.WithTenant(t.cfg))
+	}
+	r := cimflow.NewRouter(opts...)
+	for _, b := range fl.backends {
+		if err := r.AddBackend(b); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// --- tenant and burst specs ---
+
+type tenantSpec struct {
+	cfg      cimflow.TenantConfig
+	weight   float64
+	deadline time.Duration
+}
+
+// parseTenants reads "name:priority[:rate[:weight[:deadline]]]" items.
+func parseTenants(s string, defaultDeadline time.Duration) ([]tenantSpec, error) {
+	var out []tenantSpec
+	for _, item := range splitList(s) {
+		parts := strings.Split(item, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("tenant %q: want name:priority[:rate[:weight[:deadline]]]", item)
+		}
+		spec := tenantSpec{weight: 1, deadline: defaultDeadline}
+		spec.cfg.Name = parts[0]
+		p, ok := cimflow.ParsePriority(parts[1])
+		if !ok {
+			return nil, fmt.Errorf("tenant %q: unknown priority %q", item, parts[1])
+		}
+		spec.cfg.Priority = p
+		var err error
+		if len(parts) > 2 {
+			if spec.cfg.Rate, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, fmt.Errorf("tenant %q: rate: %w", item, err)
+			}
+		}
+		if len(parts) > 3 {
+			if spec.weight, err = strconv.ParseFloat(parts[3], 64); err != nil {
+				return nil, fmt.Errorf("tenant %q: weight: %w", item, err)
+			}
+		}
+		if len(parts) > 4 {
+			if spec.deadline, err = time.ParseDuration(parts[4]); err != nil {
+				return nil, fmt.Errorf("tenant %q: deadline: %w", item, err)
+			}
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// parseBursts reads "at/duration/multiplier" items.
+func parseBursts(s string) ([]cimflow.Burst, error) {
+	var out []cimflow.Burst
+	for _, item := range splitList(s) {
+		parts := strings.Split(item, "/")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("burst %q: want at/duration/multiplier", item)
+		}
+		at, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("burst %q: %w", item, err)
+		}
+		d, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("burst %q: %w", item, err)
+		}
+		mult, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("burst %q: %w", item, err)
+		}
+		out = append(out, cimflow.Burst{At: at, Duration: d, Multiplier: mult})
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// --- HTTP front end (wire-compatible with cimflow-serve) ---
+
+type inferRequest struct {
+	Seed  *uint64 `json:"seed,omitempty"`
+	Data  []int8  `json:"data,omitempty"`
+	Shape []int   `json:"shape,omitempty"`
+}
+
+type inferResponse struct {
+	Model     string  `json:"model"`
+	Shape     []int   `json:"shape"`
+	Output    []int8  `json:"output"`
+	Cycles    int64   `json:"cycles"`
+	Seconds   float64 `json:"seconds"`
+	EnergyMJ  float64 `json:"energy_mj"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+type modelInfo struct {
+	Name       string `json:"name"`
+	InputShape []int  `json:"input_shape"`
+}
+
+func newHandler(r *cimflow.Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		healthy := 0
+		for _, name := range r.Backends() {
+			if r.Healthy(name) {
+				healthy++
+			}
+		}
+		status := http.StatusOK
+		if healthy == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"status":           map[bool]string{true: "ok", false: "no healthy backends"}[healthy > 0],
+			"backends_healthy": healthy, "backends_total": len(r.Backends()),
+		})
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, req *http.Request) {
+		var out []modelInfo
+		for _, name := range r.Models() {
+			shape, err := r.InputShape(name)
+			if err != nil {
+				continue
+			}
+			out = append(out, modelInfo{Name: name, InputShape: []int{shape.H, shape.W, shape.C}})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Metrics())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, r.Metrics())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("POST /v1/models/{name}/infer", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		var body inferRequest
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		input, err := buildInput(r, name, &body)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		tenant := req.Header.Get("X-Cimflow-Tenant")
+		start := time.Now()
+		res, err := r.Infer(req.Context(), tenant, name, input)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, inferResponse{
+			Model:     name,
+			Shape:     []int{res.Output.H, res.Output.W, res.Output.C},
+			Output:    res.Output.Data,
+			Cycles:    res.Stats.Cycles,
+			Seconds:   res.Seconds,
+			EnergyMJ:  res.EnergyMJ,
+			LatencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	})
+	return mux
+}
+
+func buildInput(r *cimflow.Router, name string, req *inferRequest) (cimflow.Tensor, error) {
+	shape, err := r.InputShape(name)
+	if err != nil {
+		return cimflow.Tensor{}, err
+	}
+	if req.Seed != nil {
+		return cimflow.SeededInput(shape, *req.Seed), nil
+	}
+	if len(req.Shape) != 3 {
+		return cimflow.Tensor{}, fmt.Errorf("request needs \"seed\" or \"data\" with \"shape\": [h,w,c]")
+	}
+	t := cimflow.Tensor{H: req.Shape[0], W: req.Shape[1], C: req.Shape[2], Data: req.Data}
+	if t.Len() != len(req.Data) {
+		return cimflow.Tensor{}, fmt.Errorf("data has %d elements, shape %dx%dx%d needs %d",
+			len(req.Data), t.H, t.W, t.C, t.Len())
+	}
+	return t, nil
+}
+
+// statusFor maps router errors onto HTTP codes: quota violations are the
+// client's to back off from (429), capacity and health problems are the
+// fleet's (503), deadline expiry is a timeout (504).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, cimflow.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, cimflow.ErrQuotaExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, cimflow.ErrOverloaded),
+		errors.Is(err, cimflow.ErrNoBackends),
+		errors.Is(err, cimflow.ErrRouterClosed),
+		errors.Is(err, cimflow.ErrBackendUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// --- trace replay ---
+
+func runReplay(f *routerFlags, models []string, tenants []tenantSpec) error {
+	bursts, err := parseBursts(f.bursts)
+	if err != nil {
+		return err
+	}
+	spec := cimflow.TraceSpec{
+		Duration:         f.duration,
+		RPS:              f.rps,
+		DiurnalAmplitude: f.diurnalAmp,
+		DiurnalPeriod:    f.diurnalPer,
+		Bursts:           bursts,
+		Models:           models,
+		ModelSkew:        f.modelSkew,
+		Seed:             f.traceSeed,
+	}
+	for _, t := range tenants {
+		spec.Tenants = append(spec.Tenants, cimflow.TraceTenant{
+			Name: t.cfg.Name, Weight: t.weight, Deadline: t.deadline,
+		})
+	}
+	if len(spec.Tenants) == 0 {
+		spec.Tenants = []cimflow.TraceTenant{{Name: "default", Weight: 1, Deadline: f.timeout}}
+	}
+
+	hedges := []time.Duration{f.hedgeDelay}
+	if f.compareHedge {
+		hedges = []time.Duration{0, f.hedgeDelay}
+	}
+	reports := make([]*cimflow.ReplayReport, 0, len(hedges))
+	for _, hedge := range hedges {
+		rep, err := replayOnce(f, models, tenants, spec, hedge)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("trace replay (hedge %v, budget %g)", hedge, f.hedgeBudget)
+		if hedge == 0 {
+			label = "trace replay (hedging disabled)"
+		}
+		if err := rep.Table(label).Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("sent %d, completed %d (%.1f inf/s over %v); hedges %d launched / %d won, retries %d, fallbacks %d\n\n",
+			rep.Sent, rep.Completed, rep.Throughput, rep.Elapsed.Round(time.Millisecond),
+			rep.Router.HedgesLaunched, rep.Router.HedgesWon, rep.Router.Retries, rep.Router.Fallbacks)
+		reports = append(reports, rep)
+	}
+	if f.compareHedge {
+		printHedgeComparison(reports[0], reports[1])
+	}
+	return nil
+}
+
+// replayOnce builds a fresh fleet and router with the given hedge delay,
+// optionally byte-verifies routed outputs, and replays the trace.
+func replayOnce(f *routerFlags, models []string, tenants []tenantSpec,
+	spec cimflow.TraceSpec, hedge time.Duration) (*cimflow.ReplayReport, error) {
+	fl, err := buildFleet(f, models)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.Close()
+	r, err := buildRouter(f, fl, tenants, hedge)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if f.check > 0 && f.backends == "" {
+		if err := verifyRouted(r, models, f); err != nil {
+			return nil, err
+		}
+	}
+	return cimflow.ReplayTrace(context.Background(), r, spec)
+}
+
+// verifyRouted proves the routed path output-neutral: for each model,
+// -check seeded inputs through the router must match a dedicated
+// reference session byte for byte.
+func verifyRouted(r *cimflow.Router, models []string, f *routerFlags) error {
+	cfg := cimflow.DefaultConfig()
+	if f.archPath != "" {
+		var err error
+		if cfg, err = cimflow.LoadConfig(f.archPath); err != nil {
+			return err
+		}
+	}
+	strat, err := compiler.ParseStrategy(f.strategy)
+	if err != nil {
+		return err
+	}
+	engine, err := cimflow.NewEngine(cfg,
+		cimflow.WithStrategy(strat), cimflow.WithSeed(f.seed))
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+	for _, name := range models {
+		sess, err := engine.SessionFor(name)
+		if err != nil {
+			return err
+		}
+		shape, err := r.InputShape(name)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < f.check; i++ {
+			input := cimflow.SeededInput(shape, uint64(i))
+			want, err := sess.Infer(context.Background(), input)
+			if err != nil {
+				return fmt.Errorf("reference %s/%d: %w", name, i, err)
+			}
+			got, err := r.Infer(context.Background(), "verify", name, input)
+			if err != nil {
+				return fmt.Errorf("routed %s/%d: %w", name, i, err)
+			}
+			if !bytes.Equal(int8AsBytes(got.Output.Data), int8AsBytes(want.Output.Data)) {
+				return fmt.Errorf("routed output for %s seed %d differs from direct Session.Infer", name, i)
+			}
+		}
+		log.Printf("verified %s: %d routed outputs byte-identical to Session.Infer", name, f.check)
+	}
+	return nil
+}
+
+// printHedgeComparison lines up per-tenant tails from the hedging-off and
+// hedging-on runs of the same trace.
+func printHedgeComparison(off, on *cimflow.ReplayReport) {
+	byTenant := make(map[string]cimflow.TenantSLO, len(off.Tenants))
+	for _, slo := range off.Tenants {
+		byTenant[slo.Tenant] = slo
+	}
+	fmt.Println("# hedging impact (same trace, hedging off vs on)")
+	fmt.Printf("%-12s %12s %12s %12s %14s\n", "tenant", "p99 off ms", "p99 on ms", "delta", "attainment")
+	for _, slo := range on.Tenants {
+		base, ok := byTenant[slo.Tenant]
+		if !ok {
+			continue
+		}
+		delta := "-"
+		if base.P99Ms > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(slo.P99Ms-base.P99Ms)/base.P99Ms)
+		}
+		fmt.Printf("%-12s %12.2f %12.2f %12s %7.3f→%.3f\n",
+			slo.Tenant, base.P99Ms, slo.P99Ms, delta, base.Attainment, slo.Attainment)
+	}
+	fmt.Printf("hedges launched %d (won %d); retries %d\n",
+		on.Router.HedgesLaunched, on.Router.HedgesWon, on.Router.Retries)
+}
+
+func int8AsBytes(v []int8) []byte {
+	out := make([]byte, len(v))
+	for i, b := range v {
+		out[i] = byte(b)
+	}
+	return out
+}

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cimflow"
@@ -128,7 +129,7 @@ func main() {
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: newHandler(srv)}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// Shutdown does the draining; main must wait for it to finish, or the
 	// process exits while in-flight responses are still being written.
@@ -196,6 +197,13 @@ func newHandler(srv *cimflow.Server) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := srv.Metrics().WritePrometheus(w); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+			return
+		}
 		writeJSON(w, http.StatusOK, srv.Metrics())
 	})
 	mux.HandleFunc("POST /v1/models/{name}/infer", func(w http.ResponseWriter, r *http.Request) {
@@ -227,6 +235,22 @@ func newHandler(srv *cimflow.Server) http.Handler {
 		})
 	})
 	return mux
+}
+
+// wantsPrometheus decides the /metrics encoding: explicit ?format=prom
+// wins, otherwise an Accept header preferring text/plain (what a
+// Prometheus scraper sends) selects the exposition format, and the
+// default stays JSON for human curls and existing tooling.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 // buildInput materializes the request's tensor: seeded or raw.

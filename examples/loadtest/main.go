@@ -5,11 +5,19 @@
 // paper's closed-loop evaluation sweeps.
 //
 //	go run ./examples/loadtest [model]
+//
+// With -cluster, the same trace instead replays against a 3-replica
+// cluster behind the router — diurnal ramp, a mid-trace burst, a
+// gold/free tenant mix — and reports per-tenant SLO attainment, once
+// with a slow replica and hedging disabled, once with hedging on.
+//
+//	go run ./examples/loadtest -cluster [model]
 package main
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -43,9 +51,17 @@ type row struct {
 }
 
 func main() {
+	clusterMode := flag.Bool("cluster", false, "replay a tenant-mix trace against a 3-replica cluster instead of the single-server sweep")
+	flag.Parse()
 	model := "tinymlp"
-	if len(os.Args) > 1 {
-		model = os.Args[1]
+	if flag.NArg() > 0 {
+		model = flag.Arg(0)
+	}
+	if *clusterMode {
+		if err := runCluster(model); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	// One engine across every point: the model compiles once and the
 	// sweep reuses the artifact, exactly like a DSE sweep would.
@@ -166,4 +182,113 @@ arrivals:
 	fmt.Printf("rps=%-4d workers=%d: %.1f inf/s, p99 %.1f ms, largest batch %d\n",
 		p.rps, p.workers, r.throughput, r.p99, r.maxBatchSeen)
 	return r, nil
+}
+
+// --- cluster trace replay ---
+
+// runCluster replays one trace twice against a fresh 3-replica fleet with
+// the model's hash-owner replica slowed by 40ms: hedging disabled, then
+// enabled. With the owner uniformly slow, a full hedge budget routes every
+// request's hedge onto the fast successor and the tail collapses (see
+// EXPERIMENTS.md for a recorded run; keep the offered rate modest — hedges
+// spend real simulator CPU).
+func runCluster(model string) error {
+	spec := cimflow.TraceSpec{
+		Duration:         4 * time.Second,
+		RPS:              30,
+		DiurnalAmplitude: 0.3,
+		Models:           []string{model},
+		Tenants: []cimflow.TraceTenant{
+			{Name: "gold", Weight: 1, Deadline: 300 * time.Millisecond},
+			{Name: "free", Weight: 3, Deadline: time.Second},
+		},
+		Seed: 1,
+	}
+	tenants := []cimflow.TenantConfig{
+		{Name: "gold", Priority: cimflow.PriorityInteractive},
+		{Name: "free", Priority: cimflow.PriorityStandard, Rate: 200},
+	}
+	owner, err := hashOwner(model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hash owner for %s: %s (will be slowed by 40ms)\n", model, owner)
+	for _, hedge := range []time.Duration{0, 15 * time.Millisecond} {
+		rep, err := replayOnce(model, spec, tenants, hedge, owner)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("cluster replay: %s, 3 replicas (%s +40ms), hedge %v", model, owner, hedge)
+		fmt.Println()
+		if err := rep.Table(label).Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("hedges %d launched / %d won, retries %d, fallbacks %d\n",
+			rep.Router.HedgesLaunched, rep.Router.HedgesWon, rep.Router.Retries, rep.Router.Fallbacks)
+	}
+	return nil
+}
+
+// hashOwner probes a throwaway fleet with one request to learn which
+// replica the consistent-hash ring places the model on — the ring is a
+// pure function of the member names, so the answer holds for the real
+// runs below.
+func hashOwner(model string) (string, error) {
+	rep, err := replayOnce(model, cimflow.TraceSpec{
+		Duration: 50 * time.Millisecond,
+		RPS:      20,
+		Models:   []string{model},
+		Seed:     1,
+	}, nil, 0, "")
+	if err != nil {
+		return "", err
+	}
+	owner, placements := "", int64(0)
+	for name, bm := range rep.Router.Backends {
+		if bm.Placements > placements {
+			owner, placements = name, bm.Placements
+		}
+	}
+	if owner == "" {
+		return "", fmt.Errorf("probe trace recorded no placements")
+	}
+	return owner, nil
+}
+
+func replayOnce(model string, spec cimflow.TraceSpec, tenants []cimflow.TenantConfig, hedge time.Duration, slow string) (*cimflow.ReplayReport, error) {
+	opts := []cimflow.RouterOption{
+		cimflow.WithHedgeDelay(hedge),
+		cimflow.WithHedgeBudget(1),
+		cimflow.WithCheckInterval(0),
+	}
+	for _, t := range tenants {
+		opts = append(opts, cimflow.WithTenant(t))
+	}
+	router := cimflow.NewRouter(opts...)
+	defer router.Close()
+	for i := 0; i < 3; i++ {
+		engine, err := cimflow.NewEngine(cimflow.DefaultConfig(),
+			cimflow.WithStrategy(cimflow.StrategyDP), cimflow.WithSeed(1))
+		if err != nil {
+			return nil, err
+		}
+		defer engine.Close()
+		srv := cimflow.NewServer(engine,
+			cimflow.WithWorkers(2),
+			cimflow.WithMaxBatch(maxBatch),
+			cimflow.WithMaxDelay(maxDelay),
+			cimflow.WithQueueDepth(queue))
+		if err := srv.ServeModel(model); err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		b := cimflow.NewLocalBackend(fmt.Sprintf("replica-%d", i), srv)
+		if b.Name() == slow {
+			b = cimflow.DelayedBackend(b, 40*time.Millisecond)
+		}
+		if err := router.AddBackend(b); err != nil {
+			return nil, err
+		}
+	}
+	return cimflow.ReplayTrace(context.Background(), router, spec)
 }

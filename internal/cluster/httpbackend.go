@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"cimflow/internal/core"
+	"cimflow/internal/model"
+	"cimflow/internal/serve"
+	"cimflow/internal/sim"
+	"cimflow/internal/tensor"
+)
+
+// HTTPBackend reaches a cimflow-serve replica over its HTTP JSON API
+// (POST /v1/models/{name}/infer, GET /v1/models, GET /healthz). The
+// replica's typed HTTP statuses map back onto the serve tier's typed
+// errors, so the router's retry/hedge classification treats a remote
+// replica exactly like an in-process one.
+type HTTPBackend struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend points at a replica's base URL (e.g.
+// "http://10.0.0.7:8080"). The backend's ring identity is the host:port,
+// so placements survive scheme or path cosmetics.
+func NewHTTPBackend(base string) (*HTTPBackend, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: backend url %q: %w", base, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: backend url %q needs scheme and host", base)
+	}
+	return &HTTPBackend{
+		name:   u.Host,
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{},
+	}, nil
+}
+
+// Name returns the replica's ring identity (host:port).
+func (b *HTTPBackend) Name() string { return b.name }
+
+// httpInferRequest mirrors cimflow-serve's POST body.
+type httpInferRequest struct {
+	Data  []int8 `json:"data"`
+	Shape []int  `json:"shape"`
+}
+
+// httpInferResponse mirrors cimflow-serve's reply.
+type httpInferResponse struct {
+	Shape    []int   `json:"shape"`
+	Output   []int8  `json:"output"`
+	Cycles   int64   `json:"cycles"`
+	Seconds  float64 `json:"seconds"`
+	EnergyMJ float64 `json:"energy_mj"`
+}
+
+// httpModelInfo mirrors one GET /v1/models entry.
+type httpModelInfo struct {
+	Name       string `json:"name"`
+	InputShape []int  `json:"input_shape"`
+}
+
+// Infer posts one inference and rebuilds a core.Result from the reply.
+// Output bytes cross the wire verbatim, so router-served results stay
+// byte-identical to a direct Session.Infer on the replica.
+func (b *HTTPBackend) Infer(ctx context.Context, name string, input tensor.Tensor) (*core.Result, error) {
+	body, err := json.Marshal(httpInferRequest{Data: input.Data, Shape: []int{input.H, input.W, input.C}})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		b.base+"/v1/models/"+url.PathEscape(name)+"/infer", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, wrapUnavailable(b.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, b.statusError(resp)
+	}
+	var out httpInferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, wrapUnavailable(b.name, err)
+	}
+	if len(out.Shape) != 3 || len(out.Output) != out.Shape[0]*out.Shape[1]*out.Shape[2] {
+		return nil, wrapUnavailable(b.name, fmt.Errorf("malformed reply shape %v", out.Shape))
+	}
+	res := &core.Result{
+		Stats:    &sim.Stats{Cycles: out.Cycles},
+		Output:   tensor.Tensor{H: out.Shape[0], W: out.Shape[1], C: out.Shape[2], Data: out.Output},
+		Seconds:  out.Seconds,
+		EnergyMJ: out.EnergyMJ,
+	}
+	if res.Seconds > 0 {
+		res.Throughput = 1 / res.Seconds
+	}
+	return res, nil
+}
+
+// statusError maps the replica's HTTP status back onto typed errors.
+func (b *HTTPBackend) statusError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s: %s", serve.ErrUnknownModel, b.name, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (%s: %s)", serve.ErrOverloaded, b.name, msg)
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("%w (%s: %s)", context.DeadlineExceeded, b.name, msg)
+	default:
+		return fmt.Errorf("cluster: backend %s: %s", b.name, msg)
+	}
+}
+
+// Models lists the replica's served models (empty on transport failure —
+// health checks, not Models, decide placement).
+func (b *HTTPBackend) Models() []string {
+	infos, err := b.models(context.Background())
+	if err != nil {
+		return nil
+	}
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// InputShape reports a served model's expected input shape.
+func (b *HTTPBackend) InputShape(name string) (model.Shape, error) {
+	infos, err := b.models(context.Background())
+	if err != nil {
+		return model.Shape{}, err
+	}
+	for _, info := range infos {
+		if info.Name == name && len(info.InputShape) == 3 {
+			return model.Shape{H: info.InputShape[0], W: info.InputShape[1], C: info.InputShape[2]}, nil
+		}
+	}
+	return model.Shape{}, fmt.Errorf("%w: %q on %s", serve.ErrUnknownModel, name, b.name)
+}
+
+func (b *HTTPBackend) models(ctx context.Context) ([]httpModelInfo, error) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, wrapUnavailable(b.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, wrapUnavailable(b.name, fmt.Errorf("models: %s", resp.Status))
+	}
+	var infos []httpModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, wrapUnavailable(b.name, err)
+	}
+	return infos, nil
+}
+
+// Check probes the replica's /healthz.
+func (b *HTTPBackend) Check(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return wrapUnavailable(b.name, err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return wrapUnavailable(b.name, fmt.Errorf("healthz: %s", resp.Status))
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricWriterExposition(t *testing.T) {
+	var sb strings.Builder
+	mw := NewMetricWriter(&sb)
+	mw.Counter("demo_total", "A demo counter.")
+	mw.Sample("demo_total", nil, 3)
+	mw.Gauge("demo_value", "A demo gauge.")
+	mw.Sample("demo_value", Labels{{"tenant", "gold"}, {"quantile", "0.99"}}, 12.5)
+	mw.Sample("demo_value", Labels{{"tenant", `we"ird\te` + "\nnant"}}, 0)
+	if err := mw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP demo_total A demo counter.
+# TYPE demo_total counter
+demo_total 3
+# HELP demo_value A demo gauge.
+# TYPE demo_value gauge
+demo_value{tenant="gold",quantile="0.99"} 12.5
+demo_value{tenant="we\"ird\\te\nnant"} 0
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestRouterPrometheusExposition(t *testing.T) {
+	r := testRouter(t, WithTenant(TenantConfig{Name: "gold", Priority: PriorityInteractive, Rate: 100}))
+	if err := r.AddBackend(newFake("replica-a")); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE cimflow_router_hedges_launched_total counter",
+		"# TYPE cimflow_router_backend_healthy gauge",
+		`cimflow_router_backend_healthy{backend="replica-a"} 1`,
+		`cimflow_tenant_requests_total{tenant="gold",outcome="completed"} 0`,
+		`cimflow_tenant_latency_ms{tenant="gold",quantile="0.99"} 0`,
+		`cimflow_tenant_slo_attainment{tenant="gold"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

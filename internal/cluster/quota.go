@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Priority is a tenant's admission class. Under fleet-wide pressure the
+// router sheds lower classes first, and hedging (which spends extra
+// backend capacity to cut tail latency) is reserved for classes above
+// PriorityBatch.
+type Priority int
+
+const (
+	// PriorityBatch is best-effort traffic: first shed under pressure,
+	// never hedged.
+	PriorityBatch Priority = iota
+	// PriorityStandard is the default interactive class.
+	PriorityStandard
+	// PriorityInteractive is latency-critical traffic: shed last.
+	PriorityInteractive
+)
+
+// String names the priority class for metrics labels.
+func (p Priority) String() string {
+	switch p {
+	case PriorityBatch:
+		return "batch"
+	case PriorityStandard:
+		return "standard"
+	case PriorityInteractive:
+		return "interactive"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePriority reads a priority class name (batch, standard, interactive).
+func ParsePriority(s string) (Priority, bool) {
+	switch s {
+	case "batch":
+		return PriorityBatch, true
+	case "standard", "":
+		return PriorityStandard, true
+	case "interactive":
+		return PriorityInteractive, true
+	default:
+		return PriorityStandard, false
+	}
+}
+
+// TenantConfig is one tenant's admission contract: a priority class plus a
+// token-bucket quota. Rate 0 means unmetered (priority still applies).
+type TenantConfig struct {
+	// Name matches the request's tenant (router Infer argument / the HTTP
+	// front-end's X-Cimflow-Tenant header).
+	Name string
+	// Priority is the tenant's admission class (default PriorityStandard).
+	Priority Priority
+	// Rate is the quota refill rate in requests/second; 0 = unlimited.
+	Rate float64
+	// Burst caps accumulated quota tokens (default: max(Rate, 1)).
+	Burst float64
+}
+
+// withDefaults resolves zero fields.
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.Burst <= 0 {
+		c.Burst = c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	return c
+}
+
+// bucket is a lazily refilled token bucket. The clock is injected so quota
+// behavior is testable without sleeping.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	rate   float64 // tokens per second; 0 = refill only via credit
+	burst  float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{tokens: burst, rate: rate, burst: burst, last: now}
+}
+
+// take refills elapsed tokens and consumes n if available.
+func (b *bucket) take(now time.Time, n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// credit adds tokens directly (the hedge budget accrues a fraction of a
+// token per admitted request rather than per wall-clock second).
+func (b *bucket) credit(now time.Time, n float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	b.tokens += n
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// refill advances the clock under b.mu.
+func (b *bucket) refill(now time.Time) {
+	if b.rate > 0 {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+}

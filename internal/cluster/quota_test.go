@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketRefill(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBucket(10, 5, now)
+	for i := 0; i < 5; i++ {
+		if !b.take(now, 1) {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if b.take(now, 1) {
+		t.Fatal("empty bucket granted a token")
+	}
+	// 250ms at 10/s refills 2.5 tokens.
+	now = now.Add(250 * time.Millisecond)
+	if !b.take(now, 2) {
+		t.Fatal("refilled tokens denied")
+	}
+	if b.take(now, 1) {
+		t.Fatal("only 0.5 tokens remain; a full take must be denied")
+	}
+	// Refill caps at burst.
+	now = now.Add(time.Hour)
+	if !b.take(now, 5) {
+		t.Fatal("bucket must cap at burst, not below")
+	}
+	if b.take(now, 1) {
+		t.Fatal("bucket must cap at burst, not above")
+	}
+}
+
+func TestBucketCredit(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBucket(0, 2, now) // rate 0: only credit refills (the hedge budget shape)
+	if !b.take(now, 2) {
+		t.Fatal("initial burst denied")
+	}
+	if b.take(now, 1) {
+		t.Fatal("rate-0 bucket refilled by itself")
+	}
+	for i := 0; i < 4; i++ {
+		b.credit(now, 0.25)
+	}
+	if !b.take(now, 1) {
+		t.Fatal("4 credits of 0.25 must grant one token")
+	}
+	// Credits cap at burst.
+	for i := 0; i < 100; i++ {
+		b.credit(now, 1)
+	}
+	if !b.take(now, 2) {
+		t.Fatal("credits must cap at burst (2)")
+	}
+	if b.take(now, 1) {
+		t.Fatal("credits exceeded burst cap")
+	}
+}
+
+func TestTenantConfigDefaults(t *testing.T) {
+	c := TenantConfig{Name: "t", Rate: 40}.withDefaults()
+	if c.Burst != 40 {
+		t.Fatalf("burst default = %g, want rate (40)", c.Burst)
+	}
+	c = TenantConfig{Name: "t", Rate: 0.5}.withDefaults()
+	if c.Burst != 1 {
+		t.Fatalf("burst floor = %g, want 1", c.Burst)
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	for s, want := range map[string]Priority{
+		"batch": PriorityBatch, "standard": PriorityStandard,
+		"interactive": PriorityInteractive, "": PriorityStandard,
+	} {
+		got, ok := ParsePriority(s)
+		if !ok || got != want {
+			t.Fatalf("ParsePriority(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParsePriority("vip"); ok {
+		t.Fatal("unknown priority must not parse")
+	}
+}

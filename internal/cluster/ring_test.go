@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOrderIndependent(t *testing.T) {
+	a := buildRing([]string{"x", "y", "z"}, 64)
+	b := buildRing([]string{"z", "x", "y"}, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if !reflect.DeepEqual(a.preference(key), b.preference(key)) {
+			t.Fatalf("key %s: preference depends on member insertion order", key)
+		}
+	}
+}
+
+func TestRingPreferenceCoversAllMembersOnce(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r := buildRing(members, 32)
+	for i := 0; i < 50; i++ {
+		prefs := r.preference(fmt.Sprintf("key-%d", i))
+		if len(prefs) != len(members) {
+			t.Fatalf("preference has %d entries, want %d", len(prefs), len(members))
+		}
+		seen := make(map[string]bool)
+		for _, m := range prefs {
+			if seen[m] {
+				t.Fatalf("member %s repeated in preference", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := buildRing(members, 64)
+	owners := make(map[string]int)
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		owners[r.preference(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for _, m := range members {
+		n := owners[m]
+		// With 64 vnodes per member the split is rough, not exact; the
+		// guard is against gross imbalance (a member starved or hogging).
+		if n < keys/len(members)/4 || n > keys*3/len(members) {
+			t.Fatalf("member %s owns %d/%d keys: distribution badly skewed (%v)", m, n, keys, owners)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if p := buildRing(nil, 64).preference("key"); p != nil {
+		t.Fatalf("empty ring preference = %v, want nil", p)
+	}
+}

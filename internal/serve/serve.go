@@ -168,6 +168,14 @@ func (s *Server) AddModel(name string, sess *core.Session, cfg ModelConfig) erro
 	return nil
 }
 
+// Closed reports whether Close has been called — the liveness signal a
+// cluster health check reads for an in-process replica.
+func (s *Server) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
 // Serves reports whether a model name is already registered (so a caller
 // can avoid building a session that AddModel would reject).
 func (s *Server) Serves(name string) bool {

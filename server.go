@@ -3,8 +3,11 @@ package cimflow
 import (
 	"context"
 	"fmt"
+	"io"
+	"sort"
 	"time"
 
+	"cimflow/internal/cluster"
 	"cimflow/internal/serve"
 )
 
@@ -168,6 +171,62 @@ func (s *Server) Metrics() ServerMetrics {
 		CacheHits:    s.engine.CacheHits(),
 		PooledChips:  s.engine.PooledChips(),
 	}
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format — the same encoder the cluster router uses, so a scrape config
+// covers both serving tiers with one job.
+func (m ServerMetrics) WritePrometheus(w io.Writer) error {
+	mw := cluster.NewMetricWriter(w)
+	mw.Gauge("cimflow_serve_workers", "Dispatch worker-pool size.")
+	mw.Sample("cimflow_serve_workers", nil, float64(m.Workers))
+	mw.Counter("cimflow_serve_compile_calls_total", "Engine compile invocations.")
+	mw.Sample("cimflow_serve_compile_calls_total", nil, float64(m.CompileCalls))
+	mw.Counter("cimflow_serve_cache_hits_total", "Engine compile-cache hits.")
+	mw.Sample("cimflow_serve_cache_hits_total", nil, float64(m.CacheHits))
+	mw.Gauge("cimflow_serve_pooled_chips", "Simulated chips held across session pools.")
+	mw.Sample("cimflow_serve_pooled_chips", nil, float64(m.PooledChips))
+
+	names := make([]string, 0, len(m.Models))
+	for name := range m.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	mw.Gauge("cimflow_model_queue_depth", "Requests waiting in the model's admission queue.")
+	for _, name := range names {
+		mw.Sample("cimflow_model_queue_depth", cluster.Labels{{Name: "model", Value: name}}, float64(m.Models[name].QueueDepth))
+	}
+	mw.Counter("cimflow_model_requests_total", "Requests by model and outcome.")
+	for _, name := range names {
+		mm := m.Models[name]
+		for _, oc := range []struct {
+			outcome string
+			v       int64
+		}{
+			{"accepted", mm.Accepted}, {"completed", mm.Completed},
+			{"shed", mm.Shed}, {"expired", mm.Expired}, {"failed", mm.Failed},
+		} {
+			mw.Sample("cimflow_model_requests_total",
+				cluster.Labels{{Name: "model", Value: name}, {Name: "outcome", Value: oc.outcome}}, float64(oc.v))
+		}
+	}
+	mw.Counter("cimflow_model_batches_total", "Coalesced batch dispatches by model.")
+	for _, name := range names {
+		mw.Sample("cimflow_model_batches_total", cluster.Labels{{Name: "model", Value: name}}, float64(m.Models[name].Batches))
+	}
+	mw.Gauge("cimflow_model_latency_ms", "Request latency quantiles by model, milliseconds.")
+	for _, name := range names {
+		mm := m.Models[name]
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", mm.P50Ms}, {"0.95", mm.P95Ms}, {"0.99", mm.P99Ms}} {
+			mw.Sample("cimflow_model_latency_ms",
+				cluster.Labels{{Name: "model", Value: name}, {Name: "quantile", Value: q.q}}, q.v)
+		}
+	}
+	return mw.Err()
 }
 
 // Close stops admission, serves every queued request, and stops the
