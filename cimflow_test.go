@@ -108,3 +108,57 @@ func TestFigureTablesRender(t *testing.T) {
 		t.Errorf("DP (%d cycles) slower than generic (%d)", dp, generic)
 	}
 }
+
+// TestSearchFacade: the search entry points work through the public API —
+// a budgeted run returns a frontier drawn from its trajectory, the
+// planning-stage estimate prices a point without simulating it, and the
+// shard path helper matches the documented layout.
+func TestSearchFacade(t *testing.T) {
+	spec := &cimflow.SweepSpec{
+		Models:     []string{"tinymlp"},
+		Strategies: []string{"generic"},
+		MGSizes:    []int{4, 8},
+		FlitBytes:  []int{8, 16},
+	}
+	cache := cimflow.NewCompileCache()
+	res, err := cimflow.Search(t.Context(), spec, cimflow.SearchOptions{
+		Strategy: "halving", Budget: 2, Seed: 1, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sims == 0 || res.Sims > 2 {
+		t.Errorf("sims = %d, want 1..2", res.Sims)
+	}
+	if len(res.Frontier) == 0 || len(res.Frontier) > len(res.Trajectory) {
+		t.Errorf("frontier %d of trajectory %d", len(res.Frontier), len(res.Trajectory))
+	}
+	for _, r := range res.Trajectory {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.Point.Label(), r.Err)
+		}
+		if r.CostEst <= 0 {
+			t.Errorf("%s missing cost_est", r.Point.Label())
+		}
+	}
+
+	base, err := spec.BaseConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := spec.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cimflow.PointEstimate(cache, &points[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cycles <= 0 || est.TOPS <= 0 || est.EnergyMJ <= 0 {
+		t.Errorf("degenerate estimate: %+v", est)
+	}
+
+	if got := cimflow.SearchShardPath("ck.json", 2, 4); got != "ck.json.shard2of4" {
+		t.Errorf("SearchShardPath = %q", got)
+	}
+}

@@ -11,6 +11,21 @@
 //	cimflow-dse -spec sweep.json -checkpoint state.json   # resumable
 //	cimflow-dse -spec sweep.json -pareto    # frontier rows only
 //
+// Instead of simulating the full cross-product, -search explores the space
+// under a simulation budget: free planning-stage cost estimates prune the
+// candidates, and only the survivors get cycle-accurate simulations.
+//
+//	cimflow-dse -spec sweep.json -search halving            # budget = 25% of space
+//	cimflow-dse -spec sweep.json -search evolve -budget 200 -seed 7
+//	cimflow-dse -spec sweep.json -search evolve -budget 200 \
+//	    -checkpoint state.json -cache-dir store -shard 2/4  # one of 4 shard procs
+//
+// Sharded searches split the simulation budget across cooperating
+// processes: every shard runs the same spec, strategy, seed and budget,
+// simulates only its share of the asks, and reads the rest from its peers'
+// shard checkpoints (derived from -checkpoint). Each shard converges to the
+// identical merged frontier.
+//
 // The spec format (all axes optional except models; empty axes keep the
 // base configuration's value):
 //
@@ -34,6 +49,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"cimflow"
@@ -56,6 +73,10 @@ func run() error {
 	paretoOnly := flag.Bool("pareto", false, "print only the Pareto-optimal rows")
 	quiet := flag.Bool("q", false, "suppress per-point progress lines")
 	example := flag.Bool("example", false, "print a template spec and exit")
+	searchName := flag.String("search", "", "search the space instead of sweeping it: halving, hillclimb or evolve")
+	budget := flag.Int("budget", 0, "simulation budget for -search (0 = 25% of the space)")
+	seed := flag.Int64("seed", 1, "random seed for -search (same seed + budget = same trajectory)")
+	shardSpec := flag.String("shard", "", "shard i/n for -search: this process simulates share i of n (requires -checkpoint)")
 	flag.Parse()
 
 	if *example {
@@ -101,6 +122,21 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "resuming: %d point(s) already in %s\n", n, *ckptPath)
 		}
 		opt.Checkpoint = ckpt
+	}
+
+	if *searchName != "" {
+		return runSearch(spec, opt, searchArgs{
+			strategy: *searchName,
+			budget:   *budget,
+			seed:     *seed,
+			shard:    *shardSpec,
+			quiet:    *quiet,
+			pareto:   *paretoOnly,
+			csvPath:  *csvPath,
+		})
+	}
+	if *shardSpec != "" {
+		return fmt.Errorf("-shard requires -search")
 	}
 	done := 0
 	if !*quiet {
@@ -182,6 +218,125 @@ func run() error {
 	}
 	if failed == len(results) && len(results) > 0 {
 		return fmt.Errorf("every point failed")
+	}
+	return nil
+}
+
+// searchArgs carries the -search flag group into runSearch.
+type searchArgs struct {
+	strategy string
+	budget   int
+	seed     int64
+	shard    string
+	quiet    bool
+	pareto   bool
+	csvPath  string
+}
+
+// parseShard parses "i/n" with 0 <= i < n and n >= 2.
+func parseShard(s string) (shard, count int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if ok {
+		shard, err = strconv.Atoi(i)
+		if err == nil {
+			count, err = strconv.Atoi(n)
+		}
+	}
+	if !ok || err != nil || count < 2 || shard < 0 || shard >= count {
+		return 0, 0, fmt.Errorf("-shard must be i/n with 0 <= i < n and n >= 2, got %q", s)
+	}
+	return shard, count, nil
+}
+
+// runSearch explores the spec's space under a simulation budget instead of
+// sweeping it exhaustively.
+func runSearch(spec *cimflow.SweepSpec, opt cimflow.SweepOptions, args searchArgs) error {
+	sopt := cimflow.SearchOptions{
+		Strategy:   args.strategy,
+		Budget:     args.budget,
+		Seed:       args.seed,
+		Workers:    opt.Workers,
+		Cache:      opt.Cache,
+		Checkpoint: opt.Checkpoint,
+	}
+	if args.shard != "" {
+		shard, count, err := parseShard(args.shard)
+		if err != nil {
+			return err
+		}
+		sopt.Shard, sopt.ShardCount = shard, count
+	}
+	if !args.quiet {
+		sims := 0
+		sopt.OnSim = func(r cimflow.SweepResult) {
+			sims++
+			status := fmt.Sprintf("%8d cyc  %6.3f TOPS  %8.4f mJ",
+				r.Metrics.Cycles, r.Metrics.TOPS, r.Metrics.EnergyMJ)
+			if r.Err != nil {
+				status = "ERROR " + r.Err.Error()
+			} else if r.Cached {
+				status += "  (checkpoint)"
+			}
+			fmt.Fprintf(os.Stderr, "[sim %3d] %-40s %s\n", sims, r.Point.Label(), status)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	res, err := cimflow.Search(ctx, spec, sopt)
+	if opt.Checkpoint != nil && sopt.ShardCount <= 1 {
+		if serr := opt.Checkpoint.Save(); serr != nil {
+			fmt.Fprintln(os.Stderr, "cimflow-dse:", serr)
+		}
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("search interrupted: %w (progress saved, re-run to resume)", err)
+		}
+		return err
+	}
+
+	title := spec.Name
+	if title == "" {
+		title = "design-space search"
+	}
+	title += fmt.Sprintf(" (%s)", res.Strategy)
+	rows := res.Trajectory
+	if args.pareto {
+		rows = res.Frontier
+		title += " (Pareto frontier)"
+	}
+	table := cimflow.SweepTable(title, rows)
+	table.Write(os.Stdout)
+
+	fmt.Printf("\n%d/%d points simulated (%d estimates) in %v: %d frontier point(s), hypervolume %.4g\n",
+		res.Sims, res.SpaceSize, res.Estimates,
+		time.Since(start).Round(time.Millisecond), len(res.Frontier), res.Hypervolume)
+	cache := sopt.Cache
+	fmt.Printf("%d compiles, %d cache hits\n", cache.CompileCalls(), cache.Hits())
+	if store := cache.Store(); store != nil {
+		st := store.Stats()
+		fmt.Printf("artifact store %s: %d loaded, %d saved, %d evicted\n",
+			store.Dir(), st.Loads, st.Saves, st.Evictions)
+	}
+	for _, r := range res.Frontier {
+		fmt.Printf("frontier %-40s %8.3f TOPS  %10.4f mJ\n",
+			r.Point.Label(), r.Metrics.TOPS, r.Metrics.EnergyMJ)
+	}
+
+	if args.csvPath != "" {
+		f, err := os.Create(args.csvPath)
+		if err != nil {
+			return err
+		}
+		if err := table.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

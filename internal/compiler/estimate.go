@@ -1,0 +1,124 @@
+package compiler
+
+import (
+	"cimflow/internal/arch"
+	"cimflow/internal/model"
+)
+
+// CostEstimate is the planning-stage prediction of one compilation point's
+// headline metrics: the makespan straight from the memoized DP cost tables
+// (Plan.EstimatedCycles) plus an analytical energy model over the planned
+// mapping — no code generation and no simulation. It is the low-fidelity
+// tier of multi-fidelity design-space search: orders of magnitude cheaper
+// than a cycle-accurate run, and accurate enough to *rank* candidates so a
+// search strategy can prune before paying for full simulation. Ground truth
+// remains the simulator.
+type CostEstimate struct {
+	// Cycles is the cost model's makespan prediction: the planning DP's
+	// objective plus an analytic NoC-serialization term for the flit-width
+	// knob, which the DP tables deliberately ignore (they cost transfers at
+	// local-memory bandwidth).
+	Cycles float64 `json:"cycles"`
+	// Seconds converts Cycles at the configuration's clock.
+	Seconds float64 `json:"seconds"`
+	// TOPS derives predicted throughput from the model's nominal MAC count.
+	TOPS float64 `json:"tops"`
+	// EnergyMJ is the analytical energy prediction: CIM MACs from the
+	// planned tile geometry (channel-padding waste included), weight
+	// loading, activation and stage-boundary traffic, vector work and
+	// leakage over the predicted cycles.
+	EnergyMJ float64 `json:"energy_mj"`
+	// Stages is the planned execution-stage count.
+	Stages int `json:"stages"`
+}
+
+// Estimate runs the compiler up to the end of the planning stage and reads
+// the predicted cost of the resulting plan. It shares Partition's memoized
+// planner (cost tables, stage-allocation memo), so estimating many
+// architecture points over one context amortizes exactly like compiling
+// them — minus the codegen, which dominates a full compile.
+func (cx *CompileContext) Estimate(cfg *arch.Config, opt Options) (CostEstimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return CostEstimate{}, err
+	}
+	cm := cx.planner(cfg)
+	plan, err := cx.partitionWith(cm, opt)
+	if err != nil {
+		return CostEstimate{}, err
+	}
+	return estimatePlan(cx.g, cfg, cm, plan), nil
+}
+
+// estimatePlan prices a plan with the analytical model described on
+// CostEstimate. Every term is derived from planning-stage data only: node
+// shapes, the memoized MVM geometries and the plan's replica/pass decisions.
+func estimatePlan(g *model.Graph, cfg *arch.Config, cm *costModel, plan *Plan) CostEstimate {
+	e := &cfg.Energy
+	groupChans := float64(cfg.GroupChannels())
+	avgHops := float64(cfg.Chip.CoreRows+cfg.Chip.CoreCols) / 3
+
+	var streamedBytes float64
+	var pj float64
+	for _, st := range plan.Stages {
+		for _, op := range st.Ops {
+			n := op.Node
+			out := n.OutShape
+			in := g.InShape(n)
+			switch n.Op {
+			case model.OpConv, model.OpDense:
+				// One CIM_MVM per (row tile, channel tile) per output pixel,
+				// each computing tileRows x groupChans MACs — the full group
+				// width, so channel-padding waste is priced like the
+				// simulator counts it.
+				gm := cm.geom(n)
+				var tileRows float64
+				for _, t := range gm.tiles {
+					tileRows += float64(t.Rows)
+				}
+				pixels := float64(out.H * out.W)
+				macs := pixels * tileRows * groupChans * float64(gm.chanTiles)
+				mvms := pixels * float64(len(gm.tiles)*gm.chanTiles)
+				pj += macs * e.CIMMACpJ
+				// Input rows stream from local memory into the macro.
+				pj += macs / groupChans * e.LocalMemPJPerByte
+				// A handful of frontend operations surround every MVM issue.
+				pj += mvms * 4 * (e.InstFetchPJ + e.RegFilePJ)
+				// Weights travel global memory -> NoC -> macro cells, once
+				// per replica per weight-swap pass.
+				wb := float64(n.WeightBytes(in.C) * len(op.Replicas) * op.Passes)
+				pj += wb * (e.GlobalMemPJPerByte + avgHops*e.NoCHopPJPerByte + e.CIMLoadPJPerByte)
+			case model.OpDWConv:
+				pj += float64(out.Elems()*n.KH*n.KW) * e.VectorOpPJ
+			default:
+				pj += float64(out.Elems()) * e.VectorOpPJ
+			}
+			// Activations are written to local memory and read by consumers;
+			// cross-core consumers pull them over the NoC.
+			actBytes := float64(out.Elems())
+			streamedBytes += actBytes
+			pj += 2 * actBytes * e.LocalMemPJPerByte
+			pj += actBytes * avgHops * e.NoCHopPJPerByte
+			if op.GlobalOut >= 0 {
+				// Stage-boundary tensors round-trip through global memory.
+				pj += 2 * actBytes * (e.GlobalMemPJPerByte + avgHops*e.NoCHopPJPerByte)
+			}
+		}
+	}
+
+	// The DP tables cost row transfers at local-memory bandwidth and ignore
+	// the NoC flit width; serializing the streamed activation bytes at the
+	// configured flit rate restores the knob's first-order cycle effect.
+	cycles := plan.EstimatedCycles + streamedBytes/float64(cfg.Chip.NoCFlitBytes)
+	pj += cycles * float64(cfg.NumCores()) * e.CoreLeakagePJPerCycle
+
+	est := CostEstimate{
+		Cycles:   cycles,
+		EnergyMJ: pj / 1e9,
+		Stages:   len(plan.Stages),
+	}
+	if cfg.ClockGHz > 0 && cycles > 0 {
+		est.Seconds = cycles / (cfg.ClockGHz * 1e9)
+		est.TOPS = 2 * float64(g.TotalMACs()) / est.Seconds / 1e12
+	}
+	return est
+}

@@ -13,6 +13,7 @@ import (
 type SavedResult struct {
 	Label   string  `json:"label"`
 	Metrics Metrics `json:"metrics"`
+	CostEst float64 `json:"cost_est,omitempty"`
 	Err     string  `json:"err,omitempty"`
 }
 
@@ -42,16 +43,29 @@ func NewCheckpoint(path string) *Checkpoint {
 // LoadCheckpoint opens a checkpoint file, returning an empty checkpoint if
 // the file does not exist yet.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	c := NewCheckpoint(path)
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return c, nil
+		return NewCheckpoint(path), nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("dse: reading checkpoint: %w", err)
 	}
-	if err := json.Unmarshal(data, &c.data); err != nil {
+	c, err := DecodeCheckpoint(data)
+	if err != nil {
 		return nil, fmt.Errorf("dse: parsing checkpoint %s: %w", path, err)
+	}
+	c.path = path
+	return c, nil
+}
+
+// DecodeCheckpoint parses checkpoint bytes into a memory-only checkpoint.
+// It is the single entry point for untrusted checkpoint data (LoadCheckpoint,
+// the search shard runner reading peer files, and the fuzz target): it either
+// returns an error or a checkpoint whose encoding round-trips.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	c := NewCheckpoint("")
+	if err := json.Unmarshal(data, &c.data); err != nil {
+		return nil, fmt.Errorf("dse: decoding checkpoint: %w", err)
 	}
 	if c.data.Done == nil {
 		c.data.Done = make(map[string]SavedResult)
@@ -59,12 +73,38 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	return c, nil
 }
 
+// Encode renders the checkpoint in its on-disk form.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := json.MarshalIndent(&c.data, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dse: encoding checkpoint: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Path returns the file the checkpoint persists to ("" = memory-only).
+func (c *Checkpoint) Path() string { return c.path }
+
 // Lookup returns the saved result for a point key, if present.
 func (c *Checkpoint) Lookup(key string) (SavedResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s, ok := c.data.Done[key]
 	return s, ok
+}
+
+// Entries returns a copy of every recorded entry, keyed as recorded. The
+// search shard runner uses it to fold peer checkpoints into a merged view.
+func (c *Checkpoint) Entries() map[string]SavedResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]SavedResult, len(c.data.Done))
+	for k, v := range c.data.Done {
+		out[k] = v
+	}
+	return out
 }
 
 // Len reports how many completed points the checkpoint holds.
@@ -81,7 +121,7 @@ func (c *Checkpoint) Len() int {
 func (c *Checkpoint) Record(key string, r *PointResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := SavedResult{Label: r.Point.Label(), Metrics: r.Metrics}
+	s := SavedResult{Label: r.Point.Label(), Metrics: r.Metrics, CostEst: r.CostEst}
 	if r.Err != nil {
 		s.Err = r.Err.Error()
 	}

@@ -79,6 +79,103 @@ func TestCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestCheckpointResumeReorderedAxes pins the fingerprint-keyed resume
+// contract: a spec whose axis values were reordered (or whose JSON fields
+// moved, or whose base values became explicit) expands to points with
+// different indices but identical keys, so every completed point restores
+// from the checkpoint — no axis-position dependence anywhere in the key.
+func TestCheckpointResumeReorderedAxes(t *testing.T) {
+	base := arch.DefaultConfig()
+	original := &Spec{
+		Models:     []string{"tinycnn", "tinymlp"},
+		Strategies: []string{"generic"},
+		MGSizes:    []int{4, 8},
+		FlitBytes:  []int{8, 16},
+	}
+	points, err := original.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	ckpt, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCompileCache()
+	first, err := Run(context.Background(), points, RunOptions{Cache: cache, Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same set of points, every axis reversed, models swapped: a different
+	// enumeration order of the identical space.
+	reordered := &Spec{
+		Models:     []string{"tinymlp", "tinycnn"},
+		Strategies: []string{"generic"},
+		MGSizes:    []int{8, 4},
+		FlitBytes:  []int{16, 8},
+	}
+	repoints, err := reordered.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(context.Background(), repoints, RunOptions{Cache: cache, Checkpoint: resumed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]PointResult{}
+	for _, r := range first {
+		byKey[r.Point.Key()] = r
+	}
+	for i, r := range results {
+		if !r.Cached {
+			t.Errorf("reordered point %d (%s) was re-simulated instead of restored", i, r.Point.Label())
+		}
+		if want, ok := byKey[r.Point.Key()]; !ok {
+			t.Errorf("reordered point %s has no original counterpart", r.Point.Label())
+		} else {
+			if r.Metrics != want.Metrics {
+				t.Errorf("reordered point %s restored %+v, want %+v", r.Point.Label(), r.Metrics, want.Metrics)
+			}
+			if r.CostEst != want.CostEst {
+				t.Errorf("reordered point %s restored cost_est %v, want %v", r.Point.Label(), r.CostEst, want.CostEst)
+			}
+		}
+	}
+
+	// Making the implicit base flit explicit must also hit the checkpoint:
+	// the key fingerprints the derived configuration, not the knob list.
+	ckpt2, err := LoadCheckpoint(filepath.Join(t.TempDir(), "ckpt2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	implicit, err := (&Spec{Models: []string{"tinycnn"}, Strategies: []string{"generic"}}).Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), implicit, RunOptions{Cache: cache, Checkpoint: ckpt2}); err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := (&Spec{
+		Models: []string{"tinycnn"}, Strategies: []string{"generic"},
+		FlitBytes: []int{base.Chip.NoCFlitBytes},
+	}).Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := Run(context.Background(), explicit, RunOptions{Cache: cache, Checkpoint: ckpt2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eres[0].Cached {
+		t.Error("explicit-base-value point missed the checkpoint entry of its implicit twin")
+	}
+}
+
 // TestCheckpointMissingFile: loading a nonexistent path yields an empty,
 // usable checkpoint.
 func TestCheckpointMissingFile(t *testing.T) {

@@ -21,6 +21,7 @@ type Fig5Row struct {
 	Model      string
 	Strategy   compiler.Strategy
 	Cycles     int64
+	CostEst    float64 // cost model's cycle prediction (Cycles is the truth)
 	EnergyMJ   float64
 	NormSpeed  float64 // generic cycles / cycles (higher is better)
 	NormEnergy float64 // energy / generic energy (lower is better)
@@ -89,6 +90,7 @@ func RunFig5(ctx context.Context, cfg arch.Config, models []string, opt RunOptio
 			Model:      r.Point.Model,
 			Strategy:   r.Point.Strategy,
 			Cycles:     r.Metrics.Cycles,
+			CostEst:    r.CostEst,
 			EnergyMJ:   r.Metrics.EnergyMJ,
 			NormSpeed:  float64(base.Cycles) / float64(r.Metrics.Cycles),
 			NormEnergy: r.Metrics.EnergyMJ / base.EnergyMJ,
@@ -102,9 +104,9 @@ func RunFig5(ctx context.Context, cfg arch.Config, models []string, opt RunOptio
 // Fig5Table renders Fig. 5 rows as the printed series.
 func Fig5Table(rows []Fig5Row) *report.Table {
 	t := report.New("Fig. 5: normalized speed and energy by compilation strategy",
-		"model", "strategy", "cycles", "norm_speed", "norm_energy", "energy_mJ", "compile_ms", "sim_ms")
+		"model", "strategy", "cycles", "cost_est", "norm_speed", "norm_energy", "energy_mJ", "compile_ms", "sim_ms")
 	for _, r := range rows {
-		t.Add(r.Model, r.Strategy.String(), r.Cycles, r.NormSpeed, r.NormEnergy, r.EnergyMJ, r.CompileMS, r.SimMS)
+		t.Add(r.Model, r.Strategy.String(), r.Cycles, costEstCell(r.CostEst), r.NormSpeed, r.NormEnergy, r.EnergyMJ, r.CompileMS, r.SimMS)
 	}
 	return t
 }
@@ -121,6 +123,7 @@ type Fig6Row struct {
 	NoCMJ      float64
 	TotalMJ    float64
 	Cycles     int64
+	CostEst    float64 // cost model's cycle prediction (Cycles is the truth)
 	// CompileMS and SimMS split the row's wall-clock cost (host time).
 	CompileMS float64
 	SimMS     float64
@@ -142,6 +145,7 @@ type Fig7Row struct {
 	Strategy  compiler.Strategy
 	TOPS      float64
 	EnergyMJ  float64
+	CostEst   float64 // cost model's cycle prediction
 	// CompileMS and SimMS split the row's wall-clock cost (host time).
 	CompileMS float64
 	SimMS     float64
@@ -167,6 +171,7 @@ func RunFig7(ctx context.Context, base arch.Config, models []string, opt RunOpti
 			Strategy:  r.strategy,
 			TOPS:      r.TOPS,
 			EnergyMJ:  r.TotalMJ,
+			CostEst:   r.CostEst,
 			CompileMS: r.CompileMS,
 			SimMS:     r.SimMS,
 		})
@@ -210,6 +215,7 @@ func runSweep(ctx context.Context, base arch.Config, models []string, strategies
 			NoCMJ:      r.Metrics.NoCMJ,
 			TotalMJ:    r.Metrics.EnergyMJ,
 			Cycles:     r.Metrics.Cycles,
+			CostEst:    r.CostEst,
 			CompileMS:  ms(r.CompileTime),
 			SimMS:      ms(r.SimTime),
 			strategy:   p.Strategy,
@@ -221,9 +227,9 @@ func runSweep(ctx context.Context, base arch.Config, models []string, strategies
 // Fig6Table renders Fig. 6 rows.
 func Fig6Table(rows []Fig6Row) *report.Table {
 	t := report.New("Fig. 6: energy breakdown and throughput vs MG size and NoC flit width (generic mapping)",
-		"model", "mg_size", "flit_B", "tops", "E_localmem_mJ", "E_compute_mJ", "E_noc_mJ", "E_total_mJ", "compile_ms", "sim_ms")
+		"model", "mg_size", "flit_B", "tops", "E_localmem_mJ", "E_compute_mJ", "E_noc_mJ", "E_total_mJ", "cost_est", "compile_ms", "sim_ms")
 	for _, r := range rows {
-		t.Add(r.Model, r.MGSize, r.FlitBytes, r.TOPS, r.LocalMemMJ, r.ComputeMJ, r.NoCMJ, r.TotalMJ, r.CompileMS, r.SimMS)
+		t.Add(r.Model, r.MGSize, r.FlitBytes, r.TOPS, r.LocalMemMJ, r.ComputeMJ, r.NoCMJ, r.TotalMJ, costEstCell(r.CostEst), r.CompileMS, r.SimMS)
 	}
 	return t
 }
@@ -231,9 +237,9 @@ func Fig6Table(rows []Fig6Row) *report.Table {
 // Fig7Table renders Fig. 7 rows.
 func Fig7Table(rows []Fig7Row) *report.Table {
 	t := report.New("Fig. 7: SW/HW design space (energy vs throughput by MG size, flit width, strategy)",
-		"model", "mg_size", "flit_B", "strategy", "tops", "energy_mJ", "compile_ms", "sim_ms")
+		"model", "mg_size", "flit_B", "strategy", "tops", "energy_mJ", "cost_est", "compile_ms", "sim_ms")
 	for _, r := range rows {
-		t.Add(r.Model, r.MGSize, r.FlitBytes, r.Strategy.String(), r.TOPS, r.EnergyMJ, r.CompileMS, r.SimMS)
+		t.Add(r.Model, r.MGSize, r.FlitBytes, r.Strategy.String(), r.TOPS, r.EnergyMJ, costEstCell(r.CostEst), r.CompileMS, r.SimMS)
 	}
 	return t
 }

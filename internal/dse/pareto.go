@@ -90,7 +90,7 @@ func ResultTable(title string, results []PointResult) *report.Table {
 	}
 	t := report.New(title,
 		"model", "strategy", "mg_size", "flit_B", "mesh", "localmem_KB",
-		"cycles", "tops", "energy_mJ", "pareto", "error")
+		"cycles", "cost_est", "tops", "energy_mJ", "pareto", "error")
 	for i, r := range results {
 		p := r.Point
 		mark, errMsg := "", ""
@@ -105,10 +105,19 @@ func ResultTable(title string, results []PointResult) *report.Table {
 			mesh = intPair(p.Mesh)
 		}
 		t.Add(p.Model, p.Strategy.String(), orDash(p.MGSize), orDash(p.FlitBytes),
-			mesh, orDash(p.LocalMemKB), r.Metrics.Cycles, r.Metrics.TOPS,
-			r.Metrics.EnergyMJ, mark, errMsg)
+			mesh, orDash(p.LocalMemKB), r.Metrics.Cycles, costEstCell(r.CostEst),
+			r.Metrics.TOPS, r.Metrics.EnergyMJ, mark, errMsg)
 	}
 	return t
+}
+
+// costEstCell renders the cost-model cycle estimate, blank when the point
+// never reached the planning stage (or predates the column in a checkpoint).
+func costEstCell(est float64) string {
+	if est == 0 {
+		return ""
+	}
+	return strconv.FormatInt(int64(est+0.5), 10)
 }
 
 func orDash(v int) string {

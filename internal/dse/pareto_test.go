@@ -89,11 +89,11 @@ func TestResultTable(t *testing.T) {
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("table rows = %d, want 2", len(tbl.Rows))
 	}
-	if tbl.Rows[0][10] != "boom" {
-		t.Errorf("error column = %q, want boom", tbl.Rows[0][10])
+	if tbl.Rows[0][11] != "boom" {
+		t.Errorf("error column = %q, want boom", tbl.Rows[0][11])
 	}
-	if tbl.Rows[1][9] != "*" {
-		t.Errorf("pareto column = %q, want *", tbl.Rows[1][9])
+	if tbl.Rows[1][10] != "*" {
+		t.Errorf("pareto column = %q, want *", tbl.Rows[1][10])
 	}
 	if tbl.Rows[1][4] != "4x4" {
 		t.Errorf("mesh column = %q, want 4x4", tbl.Rows[1][4])

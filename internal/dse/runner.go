@@ -2,15 +2,11 @@ package dse
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
-	"cimflow/internal/compiler"
 	"cimflow/internal/core"
-	"cimflow/internal/model"
 )
 
 // Metrics is the serializable summary of one simulated point, the
@@ -48,6 +44,10 @@ type PointResult struct {
 	Metrics Metrics
 	Result  *core.Result
 	Err     error
+	// CostEst is the compiler cost model's cycle prediction for the point
+	// (the low-fidelity estimate; Metrics.Cycles is the measured truth).
+	// Zero when the planning stage failed before producing an estimate.
+	CostEst float64
 	// Cached marks a point skipped because the checkpoint already held it.
 	Cached bool
 	// CompileTime and SimTime split the point's wall-clock cost between
@@ -89,21 +89,12 @@ func Run(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, er
 	if workers > len(points) {
 		workers = len(points)
 	}
-	cache := opt.Cache
-	if cache == nil {
-		cache = NewCompileCache()
-	}
+	ev := opt.evaluator()
 	// Results are indexed by slice position, not Point.Index, so Run also
 	// works on subsets or hand-built point lists.
 	results := make([]PointResult, len(points))
 	emit := func(i int, r PointResult) {
 		results[i] = r
-		// Cancellation is not a point outcome: checkpointing it would make
-		// a resumed sweep restore "context canceled" instead of re-running.
-		cancelled := errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded)
-		if opt.Checkpoint != nil && !r.Cached && !cancelled {
-			opt.Checkpoint.Record(checkpointKey(&r.Point, opt), &r)
-		}
 		if opt.OnResult != nil {
 			opt.OnResult(r)
 		}
@@ -115,7 +106,7 @@ func Run(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, er
 				results[i] = PointResult{Point: p, Err: err}
 				continue
 			}
-			emit(i, runPoint(ctx, p, cache, opt))
+			emit(i, ev.Evaluate(ctx, p))
 		}
 		return results, ctx.Err()
 	}
@@ -132,7 +123,7 @@ func Run(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, er
 				if err := ctx.Err(); err != nil {
 					r = PointResult{Point: points[i], Err: err}
 				} else {
-					r = runPoint(ctx, points[i], cache, opt)
+					r = ev.Evaluate(ctx, points[i])
 				}
 				emitMu.Lock()
 				emit(i, r)
@@ -148,57 +139,14 @@ func Run(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, er
 	return results, ctx.Err()
 }
 
-// checkpointKey identifies a point outcome for resume: the point identity
-// plus every run option that can change the outcome (a raised CycleLimit
-// must re-run a point that previously hit the runaway guard, not restore
-// its stale failure).
-func checkpointKey(p *Point, opt RunOptions) string {
-	key := p.Key()
-	if opt.CycleLimit != 0 {
-		key += fmt.Sprintf("|cl%d", opt.CycleLimit)
+// evaluator builds the point evaluator a Run (or a search) uses, supplying
+// a private compile cache when the options carry none.
+func (opt *RunOptions) evaluator() *Evaluator {
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCompileCache()
 	}
-	return key
-}
-
-// runPoint compiles (through the cache) and simulates one point, or
-// restores it from the checkpoint. Cancelling ctx aborts the simulation
-// mid-run, not just between points.
-func runPoint(ctx context.Context, p Point, cache *CompileCache, opt RunOptions) PointResult {
-	if opt.Checkpoint != nil {
-		if saved, ok := opt.Checkpoint.Lookup(checkpointKey(&p, opt)); ok {
-			r := PointResult{Point: p, Metrics: saved.Metrics, Cached: true}
-			if saved.Err != "" {
-				r.Err = errors.New(saved.Err)
-			}
-			return r
-		}
-	}
-	g := model.Zoo(p.Model)
-	if g == nil {
-		return PointResult{Point: p, Err: fmt.Errorf("dse: unknown model %q", p.Model)}
-	}
-	start := time.Now()
-	compiled, err := cache.Compile(g, &p.Config, compiler.Options{Strategy: p.Strategy})
-	compileTime := time.Since(start)
-	if err != nil {
-		return PointResult{Point: p, CompileTime: compileTime,
-			Err: fmt.Errorf("dse: compile %s: %w", p.Label(), err)}
-	}
-	ws := model.NewSeededWeights(g, p.Seed)
-	input := model.SeededInput(g.Nodes[0].OutShape, p.Seed+1)
-	start = time.Now()
-	res, err := core.Simulate(ctx, compiled, ws, input, core.Options{
-		Strategy:   p.Strategy,
-		Seed:       p.Seed,
-		CycleLimit: opt.CycleLimit,
-	})
-	simTime := time.Since(start)
-	if err != nil {
-		return PointResult{Point: p, CompileTime: compileTime, SimTime: simTime,
-			Err: fmt.Errorf("dse: simulate %s: %w", p.Label(), err)}
-	}
-	return PointResult{Point: p, Metrics: metricsOf(res), Result: res,
-		CompileTime: compileTime, SimTime: simTime}
+	return &Evaluator{Cache: cache, Checkpoint: opt.Checkpoint, CycleLimit: opt.CycleLimit}
 }
 
 // Sweep expands a spec against its base configuration and runs it: the

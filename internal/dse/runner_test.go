@@ -267,7 +267,7 @@ func TestRunReportsCompileSimSplit(t *testing.T) {
 	// Restored points carry no timing: they did no work.
 	cp := NewCheckpoint("")
 	for i := range results {
-		cp.Record(checkpointKey(&results[i].Point, RunOptions{}), &results[i])
+		cp.Record((&Evaluator{}).Key(&results[i].Point), &results[i])
 	}
 	restored, err := Run(context.Background(), points, RunOptions{Workers: 1, Cache: cache, Checkpoint: cp})
 	if err != nil {

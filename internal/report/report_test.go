@@ -126,3 +126,64 @@ newline`)
 		t.Errorf("note with quote/newline = %q", second["note"])
 	}
 }
+
+// TestCostEstColumnRoundTrip pins the sweep tables' cost_est column through
+// all three renderers: a filled estimate stays one integer-valued cell in
+// the text table, survives a CSV parse round trip, and lands as a JSON
+// number — while the empty cell of an errored row (no estimate) stays empty
+// in CSV and an empty JSON string, never a bogus zero.
+func TestCostEstColumnRoundTrip(t *testing.T) {
+	tb := New("sweep", "model", "cycles", "cost_est", "tops")
+	tb.Add("resnet18", "1611483", "1540200", 2.251)
+	tb.Add("resnet18", "", "", "") // errored point: no metrics, no estimate
+
+	text := tb.String()
+	if !strings.Contains(text, "cost_est") || !strings.Contains(text, "1540200") {
+		t.Errorf("text table lost the cost_est column:\n%s", text)
+	}
+
+	var c strings.Builder
+	if err := tb.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(c.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing our own CSV: %v", err)
+	}
+	col := -1
+	for i, h := range recs[0] {
+		if h == "cost_est" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("cost_est header missing from CSV: %q", recs[0])
+	}
+	if recs[1][col] != "1540200" {
+		t.Errorf("cost_est round-tripped to %q, want 1540200", recs[1][col])
+	}
+	if recs[2][col] != "" {
+		t.Errorf("errored row's cost_est = %q, want empty", recs[2][col])
+	}
+
+	var j strings.Builder
+	if err := tb.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(j.String()), "\n")
+	var filled, errored map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &filled); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &errored); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := filled["cost_est"].(float64); !ok || v != 1540200 {
+		t.Errorf("cost_est = %v (%T), want the JSON number 1540200",
+			filled["cost_est"], filled["cost_est"])
+	}
+	if v, ok := errored["cost_est"].(string); !ok || v != "" {
+		t.Errorf("errored cost_est = %v (%T), want the empty string",
+			errored["cost_est"], errored["cost_est"])
+	}
+}

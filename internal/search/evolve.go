@@ -1,0 +1,186 @@
+package search
+
+// Evolve is a (mu+lambda) evolutionary loop with an estimate gate: each
+// generation breeds 2*lambda candidates by one-axis mutation and uniform
+// crossover of tournament-selected parents, prices them at the free
+// planning fidelity, promotes only the estimated-fittest lambda to
+// simulation, and keeps the mu fittest of parents-plus-offspring by
+// nondomination rank and crowding distance. Offspring that repeat an
+// already-simulated configuration are rejected at breeding time, so every
+// charged simulation is new information.
+type Evolve struct {
+	// Mu is the surviving population size (default 4).
+	Mu int
+	// Lambda is the promoted offspring count per generation (default 2*Mu).
+	Lambda int
+}
+
+// Name implements Strategy.
+func (e *Evolve) Name() string { return "evolve" }
+
+// Search implements Strategy.
+func (e *Evolve) Search(t *Tour) error {
+	mu := e.Mu
+	if mu <= 0 {
+		mu = 4
+	}
+	lambda := e.Lambda
+	if lambda <= 0 {
+		lambda = 2 * mu
+	}
+	// Founders: an estimate-screened random sample twice the population.
+	founders := sampleDistinct(t, 2*mu)
+	ests := t.EstimateBatch(founders)
+	var alive []EstResult
+	for _, est := range ests {
+		if est.Err == nil {
+			alive = append(alive, est)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	objs := make([]Objective, len(alive))
+	for i := range alive {
+		objs[i] = estObjective(&alive[i])
+	}
+	var seedIdx []int
+	for _, i := range selectBest(objs, mu) {
+		seedIdx = append(seedIdx, alive[i].Index)
+	}
+
+	var pop []member
+	absorb := func(results []pointOutcome) {
+		for _, r := range results {
+			if r.err == nil {
+				pop = append(pop, member{index: r.index, obj: r.obj})
+			}
+		}
+	}
+	absorb(simIndices(t, seedIdx))
+
+	for t.Remaining() > 0 && len(pop) > 0 {
+		// Breed a 2x-oversized brood, skipping repeats of anything simulated.
+		popObjs := make([]Objective, len(pop))
+		for i, m := range pop {
+			popObjs[i] = m.obj
+		}
+		popRanks := Ranks(popObjs)
+		brood := make([]int, 0, 2*lambda)
+		broodSeen := map[int]bool{}
+		for tries := 0; len(brood) < 2*lambda && tries < 20*lambda; tries++ {
+			child := e.breed(t, pop, popRanks)
+			if child < 0 || broodSeen[child] || t.Simulated(child) {
+				continue
+			}
+			broodSeen[child] = true
+			brood = append(brood, child)
+		}
+		if len(brood) == 0 {
+			break // the reachable space is exhausted
+		}
+		// Estimate gate: promote only the predicted-fittest lambda.
+		bests := t.EstimateBatch(brood)
+		var cand []EstResult
+		for _, est := range bests {
+			if est.Err == nil {
+				cand = append(cand, est)
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		candObjs := make([]Objective, len(cand))
+		for i := range cand {
+			candObjs[i] = estObjective(&cand[i])
+		}
+		var promote []int
+		for _, i := range selectBest(candObjs, lambda) {
+			promote = append(promote, cand[i].Index)
+		}
+		absorb(simIndices(t, promote))
+
+		// (mu+lambda) truncation.
+		if len(pop) > mu {
+			all := make([]Objective, len(pop))
+			for i, m := range pop {
+				all[i] = m.obj
+			}
+			next := make([]member, 0, mu)
+			for _, i := range selectBest(all, mu) {
+				next = append(next, pop[i])
+			}
+			pop = next
+		}
+	}
+	return nil
+}
+
+// member is one population entry: a simulated space index and its fitness.
+type member struct {
+	index int
+	obj   Objective
+}
+
+// breed produces one child index: binary-tournament parent selection on
+// nondomination rank, optional uniform crossover with a second parent, and
+// a one-axis mutation. Returns -1 when the space has no mutable axis.
+func (e *Evolve) breed(t *Tour, pop []member, ranks []int) int {
+	rng := t.Rng()
+	tournament := func() int {
+		a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+		if ranks[b] < ranks[a] {
+			return b
+		}
+		return a
+	}
+	space := t.Space()
+	coords := space.Coords(pop[tournament()].index)
+	if len(pop) > 1 && rng.Intn(2) == 0 {
+		other := space.Coords(pop[tournament()].index)
+		for a := range coords {
+			if rng.Intn(2) == 0 {
+				coords[a] = other[a]
+			}
+		}
+	}
+	// Mutate one non-degenerate axis to a different digit.
+	axes := space.Axes()
+	var mutable []int
+	for a, ax := range axes {
+		if ax.Size > 1 {
+			mutable = append(mutable, a)
+		}
+	}
+	if len(mutable) == 0 {
+		return -1
+	}
+	a := mutable[rng.Intn(len(mutable))]
+	d := rng.Intn(axes[a].Size - 1)
+	if d >= coords[a] {
+		d++
+	}
+	coords[a] = d
+	return space.Index(coords)
+}
+
+// pointOutcome is a simulated member candidate.
+type pointOutcome struct {
+	index int
+	obj   Objective
+	err   error
+}
+
+// simIndices promotes indices to simulation and reshapes the results for
+// population bookkeeping.
+func simIndices(t *Tour, idx []int) []pointOutcome {
+	results := t.SimBatch(idx)
+	out := make([]pointOutcome, len(results))
+	for i := range results {
+		out[i] = pointOutcome{index: idx[i], err: results[i].Err}
+		if results[i].Err == nil {
+			out[i].obj = objective(&results[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package search
+
+// Halving is successive halving over the two-fidelity ladder: a wide rung
+// of candidates is priced at the free planning-stage fidelity, repeatedly
+// culled by a factor of Eta on estimated Pareto fitness, and the final rung
+// — at most the simulation budget — is promoted to cycle-accurate
+// simulation. On spaces the sample covers entirely (like the paper's
+// Fig. 6 grid) the screen is exhaustive, so the promoted set is the
+// estimate-space Pareto front padded with the next-best ranks.
+type Halving struct {
+	// Eta is the per-rung cull factor (default 4).
+	Eta int
+}
+
+// Name implements Strategy.
+func (h *Halving) Name() string { return "halving" }
+
+// Search implements Strategy.
+func (h *Halving) Search(t *Tour) error {
+	eta := h.Eta
+	if eta < 2 {
+		eta = 4
+	}
+	budget := t.Remaining()
+	if budget <= 0 {
+		return nil
+	}
+	// Rung 0 width: eta^2 x budget candidates (whole space when it fits) —
+	// wide enough that two culls still land on the budget.
+	n0 := budget
+	for i := 0; i < 2 && n0 < t.Space().Size(); i++ {
+		n0 *= eta
+	}
+	cands := sampleDistinct(t, n0)
+
+	// Screen at the free fidelity; dead or unplannable cells drop out.
+	ests := t.EstimateBatch(cands)
+	var alive []EstResult
+	for _, e := range ests {
+		if e.Err == nil {
+			alive = append(alive, e)
+		}
+	}
+	// Cull by estimated Pareto fitness until the rung fits the budget.
+	for len(alive) > budget {
+		keep := len(alive) / eta
+		if keep < budget {
+			keep = budget
+		}
+		objs := make([]Objective, len(alive))
+		for i := range alive {
+			objs[i] = estObjective(&alive[i])
+		}
+		next := make([]EstResult, 0, keep)
+		for _, i := range selectBest(objs, keep) {
+			next = append(next, alive[i])
+		}
+		alive = next
+	}
+	// Promote the survivors.
+	promote := make([]int, len(alive))
+	for i, e := range alive {
+		promote[i] = e.Index
+	}
+	t.SimBatch(promote)
+	return nil
+}
+
+// sampleDistinct draws up to n distinct indices from the space with the
+// tour's RNG. When n covers the space the sample is the identity
+// enumeration (deterministic, no RNG spent); otherwise rejection sampling
+// over a seen-set, which stays cheap while n is well under the space size.
+func sampleDistinct(t *Tour, n int) []int {
+	size := t.Space().Size()
+	if n >= size {
+		out := make([]int, size)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if n > size/2 {
+		// Dense sample: shuffle the full enumeration instead of rejecting.
+		perm := t.Rng().Perm(size)
+		return perm[:n]
+	}
+	seen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		i := t.Rng().Intn(size)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package search
+
+// HillClimb is multi-objective hill climbing with random restarts: from a
+// random start it repeatedly prices the current point's one-axis
+// neighborhood at the free fidelity, promotes the most promising unseen
+// neighbors (by estimated Pareto fitness) to simulation, and moves to the
+// first one the current point does not dominate. A step that only finds
+// dominated neighbors is a local optimum and triggers a restart. Because
+// every step simulates a never-before-charged point, the walk cannot
+// cycle and the budget bounds it exactly.
+type HillClimb struct {
+	// Restarts caps how many independent climbs run (0 = until the budget
+	// is spent).
+	Restarts int
+	// Probes bounds how many neighbors are simulated per step before
+	// declaring a local optimum (default 2).
+	Probes int
+}
+
+// Name implements Strategy.
+func (hc *HillClimb) Name() string { return "hillclimb" }
+
+// Search implements Strategy.
+func (hc *HillClimb) Search(t *Tour) error {
+	restarts := hc.Restarts
+	if restarts <= 0 {
+		restarts = int(^uint(0) >> 1) // effectively unbounded; budget stops us
+	}
+	probes := hc.Probes
+	if probes <= 0 {
+		probes = 2
+	}
+	size := t.Space().Size()
+	for r := 0; r < restarts && t.Remaining() > 0; r++ {
+		// Pick an unvisited start (a few redraws; a crowded small space may
+		// land on a visited point, which costs nothing).
+		cur := t.Rng().Intn(size)
+		for tries := 0; t.Simulated(cur) && tries < 2*size; tries++ {
+			cur = t.Rng().Intn(size)
+		}
+		res := t.SimBatch([]int{cur})[0]
+		if res.Err != nil {
+			continue
+		}
+		curObj := objective(&res)
+
+		for t.Remaining() > 0 {
+			nbrs := t.Space().Neighbors(cur)
+			ests := t.EstimateBatch(nbrs)
+			// Order candidate moves by estimated fitness; consider only
+			// plannable, never-simulated neighbors.
+			var cand []EstResult
+			for _, e := range ests {
+				if e.Err == nil && !t.Simulated(e.Index) {
+					cand = append(cand, e)
+				}
+			}
+			if len(cand) == 0 {
+				break // neighborhood exhausted
+			}
+			objs := make([]Objective, len(cand))
+			for i := range cand {
+				objs[i] = estObjective(&cand[i])
+			}
+			order := fitnessOrder(objs)
+			moved := false
+			for probe := 0; probe < probes && probe < len(order) && t.Remaining() > 0; probe++ {
+				next := cand[order[probe]].Index
+				nres := t.SimBatch([]int{next})[0]
+				if nres.Err != nil {
+					continue
+				}
+				if nObj := objective(&nres); !dominates(curObj, nObj) {
+					cur, curObj, moved = next, nObj, true
+					break
+				}
+			}
+			if !moved {
+				break // local optimum: restart
+			}
+		}
+	}
+	return nil
+}

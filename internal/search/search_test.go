@@ -1,0 +1,241 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cimflow/internal/dse"
+)
+
+// renderRun flattens a result's trajectory and frontier into a canonical
+// byte string: the determinism contract is that two runs with the same
+// seed, budget and space render identically no matter the worker count or
+// shard layout.
+func renderRun(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy=%s space=%d sims=%d\n", r.Strategy, r.SpaceSize, r.Sims)
+	b.WriteString("trajectory:\n")
+	for _, p := range r.Trajectory {
+		fmt.Fprintf(&b, "  %s cycles=%d tops=%.6g energy=%.6g err=%v\n",
+			p.Point.Key(), p.Metrics.Cycles, p.Metrics.TOPS, p.Metrics.EnergyMJ, p.Err != nil)
+	}
+	b.WriteString("frontier:\n")
+	for _, p := range r.Frontier {
+		fmt.Fprintf(&b, "  %s cycles=%d tops=%.6g energy=%.6g\n",
+			p.Point.Key(), p.Metrics.Cycles, p.Metrics.TOPS, p.Metrics.EnergyMJ)
+	}
+	return b.String()
+}
+
+// TestSearchDeterminism: same seed + same budget ⇒ byte-identical
+// trajectory and frontier at 1, 2 and 8 workers, for every strategy.
+func TestSearchDeterminism(t *testing.T) {
+	cache := dse.NewCompileCache()
+	for _, strat := range []string{"halving", "hillclimb", "evolve"} {
+		var baseline string
+		for _, workers := range []int{1, 2, 8} {
+			res, err := Run(context.Background(), testSpec(), Options{
+				Strategy: strat,
+				Budget:   4,
+				Seed:     7,
+				Workers:  workers,
+				Cache:    cache,
+			})
+			if err != nil {
+				t.Fatalf("%s j=%d: %v", strat, workers, err)
+			}
+			if res.Sims == 0 || res.Sims > 4 {
+				t.Fatalf("%s j=%d: %d sims, want 1..4", strat, workers, res.Sims)
+			}
+			if len(res.Frontier) == 0 {
+				t.Fatalf("%s j=%d: empty frontier", strat, workers)
+			}
+			got := renderRun(res)
+			if baseline == "" {
+				baseline = got
+			} else if got != baseline {
+				t.Errorf("%s j=%d trajectory diverged:\n--- j=1 ---\n%s--- j=%d ---\n%s",
+					strat, workers, baseline, workers, got)
+			}
+		}
+	}
+}
+
+// TestSearchSeedMatters: different seeds explore differently (sanity check
+// that determinism is not degeneracy) for the stochastic strategies.
+func TestSearchSeedMatters(t *testing.T) {
+	cache := dse.NewCompileCache()
+	runs := map[int64]string{}
+	for _, seed := range []int64{1, 2, 3, 4} {
+		res, err := Run(context.Background(), testSpec(), Options{
+			Strategy: "hillclimb", Budget: 3, Seed: seed, Cache: cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[seed] = renderRun(res)
+	}
+	distinct := map[string]bool{}
+	for _, r := range runs {
+		distinct[r] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("four seeds produced identical hillclimb trajectories; RNG is not wired through")
+	}
+}
+
+// TestSearchRecoversExhaustiveFrontier: with the budget equal to the space
+// every strategy must find the exhaustive frontier exactly; with a half
+// budget, successive halving (whose screen covers the whole tiny space)
+// must still recover it — the multi-fidelity contract in miniature.
+func TestSearchRecoversExhaustiveFrontier(t *testing.T) {
+	spec := testSpec()
+	base, err := spec.BaseConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := spec.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := dse.NewCompileCache()
+	exhaustive, err := dse.Run(context.Background(), points, dse.RunOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFront := map[string]bool{}
+	for _, r := range dse.ParetoFront(exhaustive) {
+		wantFront[r.Point.Key()] = true
+	}
+	if len(wantFront) == 0 {
+		t.Fatal("exhaustive frontier empty")
+	}
+
+	check := func(name string, budget int) {
+		res, err := Run(context.Background(), spec, Options{
+			Strategy: name, Budget: budget, Seed: 11, Cache: cache,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := map[string]bool{}
+		for _, r := range res.Frontier {
+			got[r.Point.Key()] = true
+		}
+		if len(got) != len(wantFront) {
+			t.Errorf("%s budget=%d found %d frontier points, want %d", name, budget, len(got), len(wantFront))
+		}
+		for k := range wantFront {
+			if !got[k] {
+				t.Errorf("%s budget=%d missed frontier point %s", name, budget, k)
+			}
+		}
+	}
+	for _, name := range []string{"halving", "hillclimb", "evolve"} {
+		check(name, len(points))
+	}
+	check("halving", len(points)/2)
+}
+
+// TestSearchBudgetEnforced: the trajectory never exceeds the budget, and
+// repeat asks of the same point are not double-charged.
+func TestSearchBudgetEnforced(t *testing.T) {
+	res, err := Run(context.Background(), testSpec(), Options{
+		Strategy: "evolve", Budget: 3, Seed: 5, Cache: dse.NewCompileCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sims > 3 || len(res.Trajectory) > 3 {
+		t.Errorf("budget 3 but charged %d sims, %d trajectory entries", res.Sims, len(res.Trajectory))
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Trajectory {
+		k := r.Point.Key()
+		if seen[k] {
+			t.Errorf("point %s charged twice", r.Point.Label())
+		}
+		seen[k] = true
+	}
+}
+
+// TestSearchUnknownStrategy: typos fail fast with the valid names.
+func TestSearchUnknownStrategy(t *testing.T) {
+	_, err := Run(context.Background(), testSpec(), Options{Strategy: "anneal"})
+	if err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Fatalf("err = %v, want unknown strategy", err)
+	}
+}
+
+// TestShardMergeEquivalence: two shards racing over a shared checkpoint
+// directory produce — each of them — the identical trajectory and frontier
+// as the single-process run. The shards share a compile cache the way real
+// deployments share an artifact store.
+func TestShardMergeEquivalence(t *testing.T) {
+	cache := dse.NewCompileCache()
+	single, err := Run(context.Background(), testSpec(), Options{
+		Strategy: "halving", Budget: 4, Seed: 9, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRun(single)
+
+	base := filepath.Join(t.TempDir(), "search.ckpt")
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for shard := 0; shard < 2; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			ckpt, err := dse.LoadCheckpoint(base)
+			if err != nil {
+				errs[shard] = err
+				return
+			}
+			results[shard], errs[shard] = Run(context.Background(), testSpec(), Options{
+				Strategy:   "halving",
+				Budget:     4,
+				Seed:       9,
+				Cache:      cache,
+				Checkpoint: ckpt,
+				Shard:      shard,
+				ShardCount: 2,
+			})
+		}(shard)
+	}
+	wg.Wait()
+	for shard := 0; shard < 2; shard++ {
+		if errs[shard] != nil {
+			t.Fatalf("shard %d: %v", shard, errs[shard])
+		}
+		if got := renderRun(results[shard]); got != want {
+			t.Errorf("shard %d diverged from single-process run:\n--- single ---\n%s--- shard %d ---\n%s",
+				shard, want, shard, got)
+		}
+	}
+}
+
+// TestShardValidation: a sharded run without a file-backed checkpoint, or
+// with an out-of-range shard id, fails fast.
+func TestShardValidation(t *testing.T) {
+	if _, err := Run(context.Background(), testSpec(), Options{
+		Strategy: "halving", Budget: 2, Shard: 0, ShardCount: 2,
+	}); err == nil {
+		t.Error("sharded run without checkpoint accepted")
+	}
+	ckpt, err := dse.LoadCheckpoint(filepath.Join(t.TempDir(), "c.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), testSpec(), Options{
+		Strategy: "halving", Budget: 2, Checkpoint: ckpt, Shard: 2, ShardCount: 2,
+	}); err == nil {
+		t.Error("out-of-range shard id accepted")
+	}
+}

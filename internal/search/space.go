@@ -1,0 +1,196 @@
+// Package search finds the Pareto frontier of a design space in a small
+// fraction of the exhaustive sweep's evaluations. It navigates the same
+// declarative dse.Spec axes the sweep engine enumerates, but instead of
+// simulating the whole cross-product it runs a pluggable search strategy —
+// successive halving, hill climbing with random restarts, or a (mu+lambda)
+// evolutionary loop — over a two-tier multi-fidelity evaluator: planning
+// stage cost-model estimates (milliseconds, free) to rank and prune
+// candidates, cycle-accurate simulation (seconds, budgeted) only for the
+// survivors. Every run is reproducible from its seed, and a shard runner
+// splits the simulation work across cooperating processes that converge to
+// one merged frontier.
+package search
+
+import (
+	"fmt"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/compiler"
+	"cimflow/internal/dse"
+	"cimflow/internal/model"
+)
+
+// Axis is one swept dimension of a space: its name and cardinality.
+type Axis struct {
+	Name string
+	Size int
+}
+
+// Space is a dse.Spec indexed for navigation: every point of the spec's
+// cross-product is addressable by a dense index in [0, Size), with the same
+// lexicographic ordering Spec.Expand produces — index i here is point i of
+// the exhaustive sweep — so search results and sweep results key
+// identically. Unlike Expand, a Space materializes points one at a time,
+// which is what lets a strategy walk spaces too large to enumerate.
+type Space struct {
+	spec   *dse.Spec
+	base   arch.Config
+	seed   uint64
+	models []string
+	strats []compiler.Strategy
+	mgs    []int
+	flits  []int
+	meshes [][2]int
+	lms    []int
+	size   int
+}
+
+// NewSpace indexes a spec over its resolved base configuration.
+func NewSpace(spec *dse.Spec) (*Space, error) {
+	if len(spec.Models) == 0 {
+		return nil, fmt.Errorf("search: spec %q lists no models", spec.Name)
+	}
+	for _, m := range spec.Models {
+		if model.Zoo(m) == nil {
+			return nil, fmt.Errorf("search: unknown model %q (have %v)", m, model.ZooNames())
+		}
+	}
+	base, err := spec.BaseConfig()
+	if err != nil {
+		return nil, err
+	}
+	strats := []compiler.Strategy{compiler.StrategyDP}
+	if len(spec.Strategies) > 0 {
+		strats = make([]compiler.Strategy, len(spec.Strategies))
+		for i, name := range spec.Strategies {
+			if strats[i], err = compiler.ParseStrategy(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Space{
+		spec:   spec,
+		base:   base,
+		seed:   seed,
+		models: spec.Models,
+		strats: strats,
+		mgs:    orBase(spec.MGSizes),
+		flits:  orBase(spec.FlitBytes),
+		meshes: spec.CoreMeshes,
+		lms:    orBase(spec.LocalMemKB),
+	}
+	if len(s.meshes) == 0 {
+		s.meshes = [][2]int{{}}
+	}
+	s.size = len(s.models) * len(s.strats) * len(s.mgs) * len(s.flits) * len(s.meshes) * len(s.lms)
+	return s, nil
+}
+
+// orBase turns an empty axis into the "keep base value" sentinel,
+// mirroring Spec.Expand.
+func orBase(axis []int) []int {
+	if len(axis) == 0 {
+		return []int{0}
+	}
+	return axis
+}
+
+// Size is the cardinality of the full cross-product.
+func (s *Space) Size() int { return s.size }
+
+// Axes describes the swept dimensions in index order (models outermost).
+func (s *Space) Axes() []Axis {
+	return []Axis{
+		{"model", len(s.models)},
+		{"strategy", len(s.strats)},
+		{"mg_size", len(s.mgs)},
+		{"flit_B", len(s.flits)},
+		{"mesh", len(s.meshes)},
+		{"localmem_KB", len(s.lms)},
+	}
+}
+
+// Coords decodes an index into per-axis digits (mixed radix, models
+// outermost — the digit order of Axes).
+func (s *Space) Coords(i int) [6]int {
+	var c [6]int
+	radix := [6]int{len(s.models), len(s.strats), len(s.mgs), len(s.flits), len(s.meshes), len(s.lms)}
+	for a := 5; a >= 0; a-- {
+		c[a] = i % radix[a]
+		i /= radix[a]
+	}
+	return c
+}
+
+// Index encodes per-axis digits back into a point index.
+func (s *Space) Index(c [6]int) int {
+	radix := [6]int{len(s.models), len(s.strats), len(s.mgs), len(s.flits), len(s.meshes), len(s.lms)}
+	i := 0
+	for a := 0; a < 6; a++ {
+		i = i*radix[a] + c[a]
+	}
+	return i
+}
+
+// Point materializes point i, identical to Spec.Expand's point i (same
+// knobs, same Index, same derived configuration). The configuration is
+// validated; strategies treat an invalid point as a dead cell of the grid.
+func (s *Space) Point(i int) (dse.Point, error) {
+	if i < 0 || i >= s.size {
+		return dse.Point{}, fmt.Errorf("search: point index %d outside space of %d", i, s.size)
+	}
+	c := s.Coords(i)
+	mg, flit := s.mgs[c[2]], s.flits[c[3]]
+	mesh, lm := s.meshes[c[4]], s.lms[c[5]]
+	cfg := s.base
+	if mg != 0 {
+		cfg = cfg.WithMacrosPerGroup(mg)
+	}
+	if flit != 0 {
+		cfg = cfg.WithFlitBytes(flit)
+	}
+	if mesh != ([2]int{}) {
+		cfg = cfg.WithCoreMesh(mesh[0], mesh[1])
+	}
+	if lm != 0 {
+		cfg = cfg.WithLocalMemBytes(lm << 10)
+	}
+	p := dse.Point{
+		Index:      i,
+		Model:      s.models[c[0]],
+		Strategy:   s.strats[c[1]],
+		MGSize:     mg,
+		FlitBytes:  flit,
+		Mesh:       mesh,
+		LocalMemKB: lm,
+		Seed:       s.seed,
+		Config:     cfg,
+	}
+	if err := cfg.Validate(); err != nil {
+		return p, fmt.Errorf("search: point %s: %w", p.Label(), err)
+	}
+	return p, nil
+}
+
+// Neighbors returns the indices reachable from i by changing exactly one
+// axis digit, in deterministic order (axis-major, ascending digit).
+func (s *Space) Neighbors(i int) []int {
+	c := s.Coords(i)
+	radix := [6]int{len(s.models), len(s.strats), len(s.mgs), len(s.flits), len(s.meshes), len(s.lms)}
+	var out []int
+	for a := 0; a < 6; a++ {
+		for d := 0; d < radix[a]; d++ {
+			if d == c[a] {
+				continue
+			}
+			n := c
+			n[a] = d
+			out = append(out, s.Index(n))
+		}
+	}
+	return out
+}

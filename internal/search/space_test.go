@@ -1,0 +1,125 @@
+package search
+
+import (
+	"testing"
+
+	"cimflow/internal/dse"
+)
+
+// testSpec is the shared tiny space: 2 models x 1 strategy x 2 MG x 2 flit
+// = 8 points on the fast test networks.
+func testSpec() *dse.Spec {
+	return &dse.Spec{
+		Name:       "tiny-search",
+		Models:     []string{"tinycnn", "tinymlp"},
+		Strategies: []string{"generic"},
+		MGSizes:    []int{4, 8},
+		FlitBytes:  []int{8, 16},
+	}
+}
+
+// TestSpaceMatchesExpand pins the index contract: Space.Point(i) is
+// exactly point i of the exhaustive Spec.Expand, so search trajectories
+// and sweep results key and order identically.
+func TestSpaceMatchesExpand(t *testing.T) {
+	spec := testSpec()
+	space, err := NewSpace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := spec.BaseConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := spec.Expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Size() != len(points) {
+		t.Fatalf("space size %d != expanded %d", space.Size(), len(points))
+	}
+	for i, want := range points {
+		got, err := space.Point(i)
+		if err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		if got.Index != want.Index || got.Key() != want.Key() || got.Label() != want.Label() {
+			t.Errorf("point %d diverged: %s (key %s) != %s (key %s)",
+				i, got.Label(), got.Key(), want.Label(), want.Key())
+		}
+	}
+}
+
+// TestCoordsIndexRoundTrip: Coords and Index are inverse bijections over
+// the whole space.
+func TestCoordsIndexRoundTrip(t *testing.T) {
+	space, err := NewSpace(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < space.Size(); i++ {
+		if back := space.Index(space.Coords(i)); back != i {
+			t.Errorf("Index(Coords(%d)) = %d", i, back)
+		}
+	}
+}
+
+// TestNeighbors: the one-axis neighborhood has sum(size_a - 1) members,
+// all distinct, none equal to the origin, each differing in one digit.
+func TestNeighbors(t *testing.T) {
+	space, err := NewSpace(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, ax := range space.Axes() {
+		want += ax.Size - 1
+	}
+	for i := 0; i < space.Size(); i++ {
+		nbrs := space.Neighbors(i)
+		if len(nbrs) != want {
+			t.Fatalf("point %d has %d neighbors, want %d", i, len(nbrs), want)
+		}
+		seen := map[int]bool{}
+		for _, n := range nbrs {
+			if n == i {
+				t.Errorf("point %d neighbors itself", i)
+			}
+			if seen[n] {
+				t.Errorf("point %d neighbor %d repeated", i, n)
+			}
+			seen[n] = true
+			a, b := space.Coords(i), space.Coords(n)
+			diff := 0
+			for k := range a {
+				if a[k] != b[k] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Errorf("neighbor %d of %d differs in %d axes", n, i, diff)
+			}
+		}
+	}
+}
+
+// TestSpaceErrors: empty model lists and unknown names are rejected, and
+// out-of-range indices error instead of wrapping.
+func TestSpaceErrors(t *testing.T) {
+	if _, err := NewSpace(&dse.Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := NewSpace(&dse.Spec{Models: []string{"no-such-net"}}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	space, err := NewSpace(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := space.Point(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := space.Point(space.Size()); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
