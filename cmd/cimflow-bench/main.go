@@ -21,8 +21,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -42,6 +44,8 @@ func main() {
 	format := flag.String("format", "table", "stdout format: table | csv | json (one JSON object per row)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+	simWorkers := flag.Int("sim-workers", 0, "per-chip simulation scheduler width (0 = GOMAXPROCS, 1 = serial)")
+	benchJSON := flag.String("bench-json", "", "run the warm-pooled throughput benchmark instead of the figures and write the JSON summary to this file")
 	flag.Parse()
 	switch *format {
 	case "table", "csv", "json":
@@ -108,8 +112,16 @@ func main() {
 		subset = strings.Split(*models, ",")
 	}
 	cfg := cimflow.DefaultConfig()
+
+	if *benchJSON != "" {
+		if err := runThroughputBench(ctx, cfg, subset, *simWorkers, *benchJSON); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	cache := cimflow.NewCompileCache()
-	opt := cimflow.SweepOptions{Workers: *workers, Cache: cache}
+	opt := cimflow.SweepOptions{Workers: *workers, SimWorkers: *simWorkers, Cache: cache}
 
 	writeCSV := func(name string, t *cimflow.Table) error {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -186,4 +198,95 @@ func main() {
 			return cimflow.Fig7Table(rows), nil
 		})
 	}
+}
+
+// benchRow is one model's warm-pooled throughput measurement.
+type benchRow struct {
+	Model        string  `json:"model"`
+	Cycles       int64   `json:"cycles"`
+	MsPerInfer   float64 `json:"ms_per_infer"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// benchSummary is the machine-readable output of -bench-json. It records
+// the host shape alongside the numbers because the windowed parallel
+// scheduler's throughput scales with available cores: a figure measured on
+// a 1-CPU runner is not comparable to one from a 16-core box.
+type benchSummary struct {
+	HostCores           int        `json:"host_cores"`
+	GoMaxProcs          int        `json:"gomaxprocs"`
+	SimWorkers          int        `json:"sim_workers"`
+	Strategy            string     `json:"strategy"`
+	Warmups             int        `json:"warmups"`
+	Runs                int        `json:"runs"`
+	Models              []benchRow `json:"models"`
+	GeomeanCyclesPerSec float64    `json:"geomean_cycles_per_sec"`
+}
+
+// runThroughputBench measures steady-state simulator throughput: each
+// model gets a Session with one pooled chip (weights staged once), a
+// couple of warmup inferences to fill the pool and the allocator
+// free-lists, then timed back-to-back inferences. cycles/s is simulated
+// cycles per wall-clock second — the simulator's headline speed metric.
+func runThroughputBench(ctx context.Context, cfg cimflow.Config, models []string, simWorkers int, path string) error {
+	const warmups, runs = 2, 5
+	if len(models) == 0 {
+		models = []string{"resnet18", "mobilenetv2", "efficientnetb0", "vgg19"}
+	}
+	eng, err := cimflow.NewEngine(cfg,
+		cimflow.WithMaxPooledChips(1),
+		cimflow.WithSimWorkers(simWorkers))
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	sum := benchSummary{
+		HostCores:  runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		SimWorkers: simWorkers,
+		Strategy:   "generic",
+		Warmups:    warmups,
+		Runs:       runs,
+	}
+	logGeo := 0.0
+	for _, name := range models {
+		s, err := eng.SessionFor(name)
+		if err != nil {
+			return err
+		}
+		input := s.SeededInput(7)
+		var cycles int64
+		for i := 0; i < warmups; i++ {
+			if _, err := s.Infer(ctx, input); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			res, err := s.Infer(ctx, input)
+			if err != nil {
+				return err
+			}
+			cycles = res.Stats.Cycles
+		}
+		elapsed := time.Since(start).Seconds()
+		row := benchRow{
+			Model:        name,
+			Cycles:       cycles,
+			MsPerInfer:   elapsed * 1e3 / runs,
+			CyclesPerSec: float64(cycles) * runs / elapsed,
+		}
+		sum.Models = append(sum.Models, row)
+		logGeo += math.Log(row.CyclesPerSec)
+		fmt.Printf("%-16s %12d cycles  %9.1f ms/infer  %8.2f M cycles/s\n",
+			name, row.Cycles, row.MsPerInfer, row.CyclesPerSec/1e6)
+	}
+	sum.GeomeanCyclesPerSec = math.Exp(logGeo / float64(len(sum.Models)))
+	fmt.Printf("geomean: %.2f M cycles/s (%d host cores, sim-workers=%d)\n",
+		sum.GeomeanCyclesPerSec/1e6, sum.HostCores, simWorkers)
+	data, err := json.MarshalIndent(&sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -53,6 +53,7 @@ func main() {
 		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "dynamic batcher: max wait to fill a batch")
 		queue    = flag.Int("queue", 64, "per-model admission queue depth")
 		pool     = flag.Int("pool", 0, "pooled chips per session (0 = GOMAXPROCS)")
+		simWork  = flag.Int("sim-workers", 1, "per-chip simulation scheduler width (1 = serial; serving parallelizes across chips, 0 = GOMAXPROCS per chip)")
 		artDir   = flag.String("artifact-dir", "", "compile-artifact store directory: restarts load compiled models from disk instead of recompiling")
 
 		loadgen  = flag.Bool("loadgen", false, "run the open-loop load generator instead of listening")
@@ -78,6 +79,7 @@ func main() {
 		cimflow.WithStrategy(strat),
 		cimflow.WithSeed(*seed),
 		cimflow.WithMaxPooledChips(*pool),
+		cimflow.WithSimWorkers(*simWork),
 	}
 	if *artDir != "" {
 		store, err := cimflow.OpenArtifactStore(*artDir)

@@ -69,6 +69,15 @@ func WithMaxPooledChips(n int) Option {
 	return func(o *settings) { o.MaxPooledChips = n }
 }
 
+// WithSimWorkers sets the simulator's conservative-window worker-pool
+// size per chip (0 = GOMAXPROCS, 1 = the serial scheduler). Simulation
+// results are bit-identical at any setting — the pool only changes how
+// many host cores one simulated chip spreads across, so serving layers
+// that already parallelize across chips typically pin this to 1.
+func WithSimWorkers(n int) Option {
+	return func(o *settings) { o.SimWorkers = n }
+}
+
 // WithCompileCache shares a compile cache with the engine — e.g. one a DSE
 // sweep over the same architecture already populated, so serving reuses
 // the sweep's artifacts. Passed to NewEngine it becomes the engine's
@@ -134,6 +143,7 @@ type sessionKey struct {
 	seed       uint64
 	cycleLimit int64
 	maxPooled  int
+	simWorkers int
 	cache      *CompileCache
 }
 
@@ -269,6 +279,7 @@ func (e *Engine) Session(g *Graph, opts ...Option) (*Session, error) {
 		seed:       st.Seed,
 		cycleLimit: st.CycleLimit,
 		maxPooled:  st.MaxPooledChips,
+		simWorkers: st.SimWorkers,
 		cache:      cache,
 	}
 	for {

@@ -186,11 +186,15 @@ func (cx *CompileContext) Compile(cfg *arch.Config, opt Options) (*Compiled, err
 		// Lower to the predecoded micro-op form once per artifact: every
 		// chip (session pool, DSE sweep worker) shares the immutable
 		// decoded program, and illegal encodings surface as compile errors
-		// instead of mid-simulation faults.
+		// instead of mid-simulation faults. Fuse then collapses the
+		// emitter's straight-line idioms (LI ladders, address arithmetic
+		// feeding CIM_MVM, loop tails) into superops the simulator
+		// dispatches once per run.
 		dec, err := isa.Predecode(code)
 		if err != nil {
 			return fmt.Errorf("compiler: core %d: %w", id, err)
 		}
+		isa.Fuse(dec)
 		programs[id] = sim.Program{Core: id, Code: code, Decoded: dec}
 		return nil
 	}); err != nil {

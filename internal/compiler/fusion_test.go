@@ -1,0 +1,56 @@
+package compiler
+
+import (
+	"testing"
+
+	"cimflow/internal/arch"
+	"cimflow/internal/isa"
+	"cimflow/internal/model"
+)
+
+// TestCompiledProgramsAreFused checks that the superop fusion pass
+// actually bites on compiler output: the emitter's address-setup and
+// compute idioms are long straight-line stretches of core-local micro-ops,
+// so a substantial fraction of a real model's static instructions should
+// sit inside fused runs. This guards the predecode call sites — dropping
+// the isa.Fuse call degrades throughput silently, never correctness, so a
+// coverage assertion is the only tripwire.
+func TestCompiledProgramsAreFused(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	g := model.Zoo("tinyresnet")
+	compiled, err := Compile(g, &cfg, Options{Strategy: StrategyDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, inRuns, heads int
+	for _, p := range compiled.Programs {
+		if len(p.Decoded) != len(p.Code) {
+			t.Fatalf("core %d: decoded length %d != code length %d", p.Core, len(p.Decoded), len(p.Code))
+		}
+		i := 0
+		for i < len(p.Decoded) {
+			d := &p.Decoded[i]
+			if d.Kind == isa.KindFusedRun {
+				heads++
+				n := int(d.SubN)
+				if n < 2 || i+n > len(p.Decoded) {
+					t.Fatalf("core %d pc %d: fused run of %d at program length %d", p.Core, i, n, len(p.Decoded))
+				}
+				inRuns += n
+				total += n
+				i += n
+				continue
+			}
+			total++
+			i++
+		}
+	}
+	if heads == 0 {
+		t.Fatal("no fused runs in compiled programs; is isa.Fuse wired into codegen?")
+	}
+	frac := float64(inRuns) / float64(total)
+	if frac < 0.5 {
+		t.Errorf("only %.1f%% of static instructions sit in fused runs (want >= 50%%)", frac*100)
+	}
+	t.Logf("fusion coverage: %d/%d static instructions in %d runs (%.1f%%)", inRuns, total, heads, frac*100)
+}

@@ -253,6 +253,7 @@ func FromImage(img *Image) (*Compiled, error) {
 		if err != nil {
 			return nil, fmt.Errorf("compiler: image core %d: %w", id, err)
 		}
+		isa.Fuse(dec)
 		c.Programs = append(c.Programs, sim.Program{Core: id, Code: code, Decoded: dec})
 	}
 	return c, nil

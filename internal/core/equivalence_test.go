@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -10,14 +11,54 @@ import (
 	"cimflow/internal/model"
 )
 
+// assertResultsEqual requires two simulation runs to agree byte for byte on
+// the output tensor and exactly on cycles, instruction counts, MACs, the
+// full energy breakdown, every per-core stat and the NoC traffic counters.
+func assertResultsEqual(t *testing.T, label string, ref, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Output.Data, got.Output.Data) {
+		t.Errorf("%s: output tensors differ", label)
+	}
+	if ref.Stats.Cycles != got.Stats.Cycles {
+		t.Errorf("%s: cycles: ref %d, got %d", label, ref.Stats.Cycles, got.Stats.Cycles)
+	}
+	if ref.Stats.Instructions != got.Stats.Instructions {
+		t.Errorf("%s: instructions: ref %d, got %d",
+			label, ref.Stats.Instructions, got.Stats.Instructions)
+	}
+	if ref.Stats.MACs != got.Stats.MACs {
+		t.Errorf("%s: MACs: ref %d, got %d", label, ref.Stats.MACs, got.Stats.MACs)
+	}
+	if ref.Stats.Energy != got.Stats.Energy {
+		t.Errorf("%s: energy breakdown differs:\nref %+v\ngot %+v",
+			label, ref.Stats.Energy, got.Stats.Energy)
+	}
+	if !reflect.DeepEqual(ref.Stats.Cores, got.Stats.Cores) {
+		for i := range ref.Stats.Cores {
+			if !reflect.DeepEqual(ref.Stats.Cores[i], got.Stats.Cores[i]) {
+				t.Errorf("%s: core %d stats differ:\nref %+v\ngot %+v",
+					label, i, ref.Stats.Cores[i], got.Stats.Cores[i])
+				break
+			}
+		}
+	}
+	if ref.Stats.NoCBytes != got.Stats.NoCBytes ||
+		ref.Stats.NoCByteHops != got.Stats.NoCByteHops ||
+		ref.Stats.GlobalBytes != got.Stats.GlobalBytes {
+		t.Errorf("%s: NoC traffic stats differ", label)
+	}
+}
+
 // TestInterpreterEquivalence is the differential proof behind the
-// predecoded execution pipeline: every model-zoo graph under every
-// compilation strategy is simulated twice — once on the legacy
-// instruction-at-a-time interpreter, once on the predecoded dispatch loop —
-// and the runs must agree byte for byte on the output tensor and exactly on
-// cycles, instruction counts, MACs, the full energy breakdown and every
-// per-core stat. In -short mode the four large benchmark DNNs are skipped;
-// the tiny networks still cover every operator lowering.
+// predecoded execution pipeline and the conservative-window parallel
+// scheduler: every model-zoo graph under every compilation strategy is
+// simulated on the legacy instruction-at-a-time interpreter (the
+// reference), on the serial predecoded dispatch loop, and on the windowed
+// parallel scheduler at two pool sizes — and all runs must agree byte for
+// byte on the output tensor and exactly on cycles, instruction counts,
+// MACs, the full energy breakdown and every per-core stat. In -short mode
+// the four large benchmark DNNs are skipped; the tiny networks still cover
+// every operator lowering.
 func TestInterpreterEquivalence(t *testing.T) {
 	cfg := arch.DefaultConfig()
 	large := map[string]bool{"resnet18": true, "vgg19": true, "mobilenetv2": true, "efficientnetb0": true}
@@ -31,7 +72,7 @@ func TestInterpreterEquivalence(t *testing.T) {
 		} {
 			t.Run(name+"/"+strat.String(), func(t *testing.T) {
 				t.Parallel()
-				// One compile feeds both interpreters: predecoded programs
+				// One compile feeds every scheduler: predecoded programs
 				// ride along in the artifact and the legacy chip ignores them.
 				compiled, err := compiler.Compile(g, &cfg, compiler.Options{Strategy: strat})
 				if err != nil {
@@ -45,41 +86,19 @@ func TestInterpreterEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("legacy interpreter: %v", err)
 				}
-				decoded, err := Simulate(context.Background(), compiled, ws, input, Options{})
+				serial, err := Simulate(context.Background(), compiled, ws, input,
+					Options{SimWorkers: 1})
 				if err != nil {
-					t.Fatalf("predecoded interpreter: %v", err)
+					t.Fatalf("serial predecoded: %v", err)
 				}
-
-				if !reflect.DeepEqual(legacy.Output.Data, decoded.Output.Data) {
-					t.Error("output tensors differ")
-				}
-				if legacy.Stats.Cycles != decoded.Stats.Cycles {
-					t.Errorf("cycles: legacy %d, predecoded %d", legacy.Stats.Cycles, decoded.Stats.Cycles)
-				}
-				if legacy.Stats.Instructions != decoded.Stats.Instructions {
-					t.Errorf("instructions: legacy %d, predecoded %d",
-						legacy.Stats.Instructions, decoded.Stats.Instructions)
-				}
-				if legacy.Stats.MACs != decoded.Stats.MACs {
-					t.Errorf("MACs: legacy %d, predecoded %d", legacy.Stats.MACs, decoded.Stats.MACs)
-				}
-				if legacy.Stats.Energy != decoded.Stats.Energy {
-					t.Errorf("energy breakdown differs:\nlegacy    %+v\npredecoded %+v",
-						legacy.Stats.Energy, decoded.Stats.Energy)
-				}
-				if !reflect.DeepEqual(legacy.Stats.Cores, decoded.Stats.Cores) {
-					for i := range legacy.Stats.Cores {
-						if !reflect.DeepEqual(legacy.Stats.Cores[i], decoded.Stats.Cores[i]) {
-							t.Errorf("core %d stats differ:\nlegacy    %+v\npredecoded %+v",
-								i, legacy.Stats.Cores[i], decoded.Stats.Cores[i])
-							break
-						}
+				assertResultsEqual(t, "serial", legacy, serial)
+				for _, w := range []int{2, 8} {
+					parallel, err := Simulate(context.Background(), compiled, ws, input,
+						Options{SimWorkers: w})
+					if err != nil {
+						t.Fatalf("parallel workers=%d: %v", w, err)
 					}
-				}
-				if legacy.Stats.NoCBytes != decoded.Stats.NoCBytes ||
-					legacy.Stats.NoCByteHops != decoded.Stats.NoCByteHops ||
-					legacy.Stats.GlobalBytes != decoded.Stats.GlobalBytes {
-					t.Error("NoC traffic stats differ")
+					assertResultsEqual(t, fmt.Sprintf("parallel(workers=%d)", w), legacy, parallel)
 				}
 			})
 		}
@@ -88,7 +107,8 @@ func TestInterpreterEquivalence(t *testing.T) {
 
 // TestInterpreterEquivalencePooled proves the equivalence holds on reused
 // (pooled, Reset) chips as well as fresh ones: a session run twice under
-// each interpreter must reproduce the first run exactly.
+// each scheduler must reproduce the first run exactly, and all schedulers
+// must agree with each other.
 func TestInterpreterEquivalencePooled(t *testing.T) {
 	cfg := arch.DefaultConfig()
 	g := model.TinyResNet()
@@ -98,7 +118,13 @@ func TestInterpreterEquivalencePooled(t *testing.T) {
 	}
 	ws := model.NewSeededWeights(g, 1)
 	input := model.SeededInput(g.Nodes[0].OutShape, 2)
-	for _, opt := range []Options{{LegacyInterpreter: true}, {}} {
+	var ref *Result
+	for _, opt := range []Options{
+		{LegacyInterpreter: true},
+		{SimWorkers: 1},
+		{SimWorkers: 2},
+		{SimWorkers: 8},
+	} {
 		opt.MaxPooledChips = 1
 		s, err := NewSession(compiled, ws, opt)
 		if err != nil {
@@ -112,9 +138,15 @@ func TestInterpreterEquivalencePooled(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		label := fmt.Sprintf("legacy=%v workers=%d", opt.LegacyInterpreter, opt.SimWorkers)
 		if !reflect.DeepEqual(first.Output.Data, second.Output.Data) ||
 			first.Stats.Cycles != second.Stats.Cycles {
-			t.Errorf("pooled rerun diverged (legacy=%v)", opt.LegacyInterpreter)
+			t.Errorf("pooled rerun diverged (%s)", label)
+		}
+		if ref == nil {
+			ref = first
+		} else {
+			assertResultsEqual(t, label, ref, first)
 		}
 		s.Close()
 	}

@@ -59,6 +59,11 @@ type Options struct {
 	// pipeline. The two are bit-identical; this is the reference escape
 	// hatch the differential equivalence suite runs against.
 	LegacyInterpreter bool
+	// SimWorkers sets the simulator's conservative-window worker-pool size
+	// (sim.WithWorkers): 0 sizes it to GOMAXPROCS, 1 forces the serial
+	// scheduler. Results are bit-identical at any setting; this trades
+	// simulation throughput against host parallelism budget.
+	SimWorkers int
 }
 
 // Run compiles the model for the architecture (one pass of the staged

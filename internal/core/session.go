@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"cimflow/internal/arch"
@@ -116,6 +117,9 @@ func (s *Session) newChip() (*sim.Chip, error) {
 	if s.opt.LegacyInterpreter {
 		chipOpts = append(chipOpts, sim.WithLegacyInterpreter())
 	}
+	if s.opt.SimWorkers != 0 {
+		chipOpts = append(chipOpts, sim.WithWorkers(s.opt.SimWorkers))
+	}
 	ch, err := sim.NewChip(&s.cfg, chipOpts...)
 	if err != nil {
 		return nil, err
@@ -190,7 +194,12 @@ func (s *Session) Infer(ctx context.Context, input tensor.Tensor) (*Result, erro
 	if err := ch.InitGlobal(seg); err != nil {
 		return nil, err
 	}
-	stats, err := ch.Run(ctx)
+	// Tag the simulation with the model name so CPU profiles split by
+	// workload; the simulator's own scheduler adds the phase labels.
+	var stats *sim.Stats
+	pprof.Do(ctx, pprof.Labels("model", s.compiled.Graph.Name), func(ctx context.Context) {
+		stats, err = ch.Run(ctx)
+	})
 	if err != nil {
 		s.release(ch)
 		return nil, fmt.Errorf("core: simulating %s: %w", s.compiled.Graph.Name, err)

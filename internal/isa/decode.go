@@ -30,6 +30,13 @@ const (
 	KindCimMVM  // matrix-vector multiply
 	KindVec     // vector unit operation; element sizes predecoded
 
+	// KindFusedRun is not an architectural opcode: it marks the head of a
+	// run of statically core-local micro-ops fused into one superop by
+	// Fuse. The head's own kind moves to Decoded.Sub and the run length to
+	// Decoded.SubN; interior entries keep their original Kind so control
+	// transfers into the middle of a run execute unfused.
+	KindFusedRun
+
 	// NumKinds sizes dispatch tables indexed by Kind.
 	NumKinds
 )
@@ -85,6 +92,11 @@ type Decoded struct {
 	Writeback  bool
 	WriteRaw   bool
 	Relu       bool
+
+	// KindFusedRun (set by Fuse, never by Predecode): the head's original
+	// kind and the number of micro-ops in the fused run, head included.
+	Sub  Kind
+	SubN uint8
 }
 
 func srcs(rs ...uint8) (uint8, [4]uint8) {

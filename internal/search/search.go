@@ -32,6 +32,10 @@ type Options struct {
 	Checkpoint *dse.Checkpoint
 	// CycleLimit forwards the simulator's runaway guard (0 = default).
 	CycleLimit int64
+	// SimWorkers is the per-simulation scheduler width (see
+	// dse.Evaluator.SimWorkers); 0 keeps each chip serial because the
+	// search's point evaluation is the parallel axis.
+	SimWorkers int
 	// OnSim, when non-nil, observes each charged simulation in trajectory
 	// order (serialized).
 	OnSim func(dse.PointResult)
@@ -162,7 +166,7 @@ func newTour(ctx context.Context, space *Space, opt Options) (*Tour, error) {
 	t := &Tour{
 		ctx:      ctx,
 		space:    space,
-		ev:       &dse.Evaluator{Cache: cache, Checkpoint: opt.Checkpoint, CycleLimit: opt.CycleLimit},
+		ev:       &dse.Evaluator{Cache: cache, Checkpoint: opt.Checkpoint, CycleLimit: opt.CycleLimit, SimWorkers: opt.SimWorkers},
 		rng:      rand.New(rand.NewSource(opt.Seed)),
 		opt:      opt,
 		workers:  workers,

@@ -96,6 +96,14 @@ type core struct {
 	blockSrc  int    // valid while blocked on a recv
 	blockTag  int32
 
+	// Parallel-scheduler state (see parallel.go). parkErr holds an error a
+	// window ran into early; it is surfaced only when this core's park
+	// becomes the schedule minimum, so the first error reported matches the
+	// serial order. lbTime is the core's release-time snapshot: a lower
+	// bound on the key of its next park while the core is running.
+	parkErr error
+	lbTime  int64
+
 	gather []byte // reusable MVM input buffer
 
 	stats CoreStats
@@ -152,6 +160,8 @@ func (c *core) reset() {
 	c.barrierID = 0
 	c.blockSrc = 0
 	c.blockTag = 0
+	c.parkErr = nil
+	c.lbTime = 0
 	c.sregs[isa.SRegCoreID] = int32(c.id)
 	c.sregs[isa.SRegSegCount] = 1
 	c.sregs[isa.SRegVecStrideA] = 1

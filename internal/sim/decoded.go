@@ -42,6 +42,10 @@ var decHandlers = [isa.NumKinds]decHandler{
 	isa.KindVec:     decVec,
 }
 
+// decFusedRun recurses through decHandlers, so it cannot appear in the
+// composite literal above (initialization cycle).
+func init() { decHandlers[isa.KindFusedRun] = decFusedRun }
+
 // stepDecoded executes one predecoded micro-op. The chip scheduler
 // guarantees this core currently has the minimum local time.
 func (c *core) stepDecoded() (stepStatus, error) {
@@ -52,6 +56,54 @@ func (c *core) stepDecoded() (stepStatus, error) {
 	c.stats.Energy.FrontendPJ += c.frontPJ
 	c.stats.Instructions++
 	return decHandlers[d.Kind](c, d)
+}
+
+// stepDecodedUnfused executes exactly one architectural instruction,
+// dispatching fused-run heads to their original handler via Sub. The
+// scheduler uses it when a Trace hook is installed, so the hook keeps
+// firing once per instruction; fused and unfused stepping are bit-exact
+// because decFusedRun replays the same component handlers in order.
+func (c *core) stepDecodedUnfused() (stepStatus, error) {
+	if c.pc >= len(c.prog) {
+		return stepHalted, c.errf("fell off the end of the program")
+	}
+	d := &c.prog[c.pc]
+	k := d.Kind
+	if k == isa.KindFusedRun {
+		k = d.Sub
+	}
+	c.stats.Energy.FrontendPJ += c.frontPJ
+	c.stats.Instructions++
+	return decHandlers[k](c, d)
+}
+
+// decFusedRun executes a run of statically core-local micro-ops fused at
+// predecode time (isa.Fuse) as one dispatch: the head via its preserved
+// Sub kind, then each successor via its own kind. Per-component stats and
+// energy are accumulated in the same order and with the same float
+// additions as unfused stepping, so the two are bit-exact; the run
+// touches no cross-core state by construction, which also makes it a
+// single local step for the windowed parallel scheduler.
+func decFusedRun(c *core, d *isa.Decoded) (stepStatus, error) {
+	st, err := decHandlers[d.Sub](c, d)
+	if st != stepOK || err != nil {
+		return st, err
+	}
+	for n := int(d.SubN) - 1; n > 0; n-- {
+		d2 := &c.prog[c.pc]
+		k := d2.Kind
+		if k == isa.KindFusedRun {
+			// Defensive: a doubly-fused program (Fuse refuses to create
+			// one) still executes components one at a time.
+			k = d2.Sub
+		}
+		c.stats.Energy.FrontendPJ += c.frontPJ
+		c.stats.Instructions++
+		if st, err = decHandlers[k](c, d2); st != stepOK || err != nil {
+			return st, err
+		}
+	}
+	return stepOK, nil
 }
 
 func decNOP(c *core, _ *isa.Decoded) (stepStatus, error) {

@@ -14,6 +14,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sort"
 
 	"cimflow/internal/arch"
 	"cimflow/internal/isa"
@@ -141,6 +143,15 @@ type Chip struct {
 	// the first inference has warmed it.
 	payloads [][]byte
 	ready    coreHeap
+
+	// workers is the parallel-scheduler pool size (see WithWorkers and
+	// parallel.go): <=0 sizes the pool to GOMAXPROCS at Run time, 1 forces
+	// the serial scheduler. limit, parked and runList are the Run in
+	// flight's cycle limit and the scheduler's reusable scratch.
+	workers int
+	limit   int64
+	parked  coreHeap
+	runList []*core
 	// barrier bookkeeping: arrivals for the currently forming barrier.
 	barrierWait  []*core
 	barrierMax   int64
@@ -165,6 +176,15 @@ type ChipOption func(*Chip)
 // escape hatch for that proof, not as a user-facing mode.
 func WithLegacyInterpreter() ChipOption {
 	return func(ch *Chip) { ch.legacy = true }
+}
+
+// WithWorkers sets the simulation worker-pool size for the
+// conservative-window parallel scheduler (parallel.go). n = 1 selects the
+// exact serial scheduler loop; n <= 0 (the default) sizes the pool to
+// GOMAXPROCS when Run starts. The schedulers are bit-identical — the
+// worker count changes throughput only, never results.
+func WithWorkers(n int) ChipOption {
+	return func(ch *Chip) { ch.workers = n }
 }
 
 // NewChip builds a chip with zeroed global memory and idle cores.
@@ -219,6 +239,7 @@ func (ch *Chip) LoadProgram(p Program) error {
 			if err != nil {
 				return fmt.Errorf("sim: core %d: %w", p.Core, err)
 			}
+			isa.Fuse(dec)
 		}
 		c.prog = dec
 	}
@@ -433,6 +454,7 @@ func (ch *Chip) Run(ctx context.Context) (*Stats, error) {
 					if err != nil {
 						return nil, fmt.Errorf("sim: core %d: %w", c.id, err)
 					}
+					isa.Fuse(dec)
 					c.prog = dec
 					c.progHash = h
 				}
@@ -445,6 +467,20 @@ func (ch *Chip) Run(ctx context.Context) (*Stats, error) {
 	active := len(ch.ready)
 	if active == 0 {
 		return nil, fmt.Errorf("sim: no programs loaded")
+	}
+	ch.limit = limit
+
+	// Route to the conservative-window parallel scheduler when it can help:
+	// it needs the predecoded pipeline (the legacy interpreter and the
+	// per-instruction Trace hook are inherently serial) and at least two
+	// active cores to overlap. A single-core chip degenerates to the serial
+	// fast path below regardless of the worker setting.
+	workers := ch.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && active > 1 && !ch.legacy && ch.Trace == nil {
+		return ch.runParallel(ctx, active, workers)
 	}
 
 	legacy := ch.legacy
@@ -465,16 +501,21 @@ func (ch *Chip) Run(ctx context.Context) (*Stats, error) {
 				}
 			}
 			if c.time > limit {
-				return nil, fmt.Errorf("sim: core %d exceeded the cycle limit %d at pc %d", c.id, limit, c.pc)
+				return nil, ch.limitErr(c)
 			}
 			if ch.Trace != nil && c.pc < len(c.code) {
 				ch.Trace(c.id, c.pc, c.code[c.pc], c.time)
 			}
 			var st stepStatus
 			var err error
-			if legacy {
+			switch {
+			case legacy:
 				st, err = c.step()
-			} else {
+			case ch.Trace != nil:
+				// One architectural instruction per step so the trace hook
+				// fires per instruction, fused runs included.
+				st, err = c.stepDecodedUnfused()
+			default:
 				st, err = c.stepDecoded()
 			}
 			if err != nil {
@@ -502,22 +543,46 @@ func (ch *Chip) Run(ctx context.Context) (*Stats, error) {
 	}
 
 	// All cores must have halted; anything blocked is a deadlock.
-	var stuck []string
-	for _, c := range ch.cores {
-		if !c.halted && len(c.code) > 0 {
-			state := "blocked"
-			if c.blocked {
-				state = fmt.Sprintf("recv(src=%d, tag=%d)", c.blockSrc, c.blockTag)
-			} else if c.inBarrier {
-				state = fmt.Sprintf("barrier(%d)", c.barrierID)
-			}
-			stuck = append(stuck, fmt.Sprintf("core %d pc %d %s", c.id, c.pc, state))
-		}
-	}
-	if len(stuck) > 0 {
-		return nil, fmt.Errorf("sim: deadlock, %d of %d cores stuck: %v", len(stuck), active, stuck)
+	if err := ch.deadlockErr(active); err != nil {
+		return nil, err
 	}
 	return ch.collect(), nil
+}
+
+// limitErr is the runaway-guard error, worded identically whichever
+// scheduler (serial loop or parallel windows) trips it.
+func (ch *Chip) limitErr(c *core) error {
+	return fmt.Errorf("sim: core %d exceeded the cycle limit %d at pc %d", c.id, ch.limit, c.pc)
+}
+
+// deadlockErr reports the cores still blocked after the schedule drained,
+// or nil when every core with a program halted. The report lists stuck
+// cores in ascending core-id order — sorted explicitly rather than relying
+// on ch.cores's layout, so the report is stable for both schedulers and
+// any future core ordering.
+func (ch *Chip) deadlockErr(active int) error {
+	var ids []int
+	for _, c := range ch.cores {
+		if !c.halted && len(c.code) > 0 {
+			ids = append(ids, c.id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Ints(ids)
+	stuck := make([]string, 0, len(ids))
+	for _, id := range ids {
+		c := ch.cores[id]
+		state := "blocked"
+		if c.blocked {
+			state = fmt.Sprintf("recv(src=%d, tag=%d)", c.blockSrc, c.blockTag)
+		} else if c.inBarrier {
+			state = fmt.Sprintf("barrier(%d)", c.barrierID)
+		}
+		stuck = append(stuck, fmt.Sprintf("core %d pc %d %s", c.id, c.pc, state))
+	}
+	return fmt.Errorf("sim: deadlock, %d of %d cores stuck: %v", len(stuck), active, stuck)
 }
 
 // arriveBarrier registers a core at the chip-wide barrier and releases all
