@@ -54,6 +54,7 @@ func main() {
 		queue    = flag.Int("queue", 64, "per-model admission queue depth")
 		pool     = flag.Int("pool", 0, "pooled chips per session (0 = GOMAXPROCS)")
 		simWork  = flag.Int("sim-workers", 1, "per-chip simulation scheduler width (1 = serial; serving parallelizes across chips, 0 = GOMAXPROCS per chip)")
+		simLanes = flag.Int("sim-lanes", 1, "lane-batch capacity per chip: coalesced batches run up to this many inferences through one cycle-accurate schedule (1 = off)")
 		artDir   = flag.String("artifact-dir", "", "compile-artifact store directory: restarts load compiled models from disk instead of recompiling")
 
 		loadgen  = flag.Bool("loadgen", false, "run the open-loop load generator instead of listening")
@@ -80,6 +81,7 @@ func main() {
 		cimflow.WithSeed(*seed),
 		cimflow.WithMaxPooledChips(*pool),
 		cimflow.WithSimWorkers(*simWork),
+		cimflow.WithSimLanes(*simLanes),
 	}
 	if *artDir != "" {
 		store, err := cimflow.OpenArtifactStore(*artDir)

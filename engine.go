@@ -78,6 +78,18 @@ func WithSimWorkers(n int) Option {
 	return func(o *settings) { o.SimWorkers = n }
 }
 
+// WithSimLanes sets a Session's lane-batch capacity (at most
+// sim.MaxLanes, 64): InferBatch packs up to n inputs into one
+// lane-batched chip run, paying the cycle-accurate schedule — dispatch,
+// scoreboard, NoC and energy accounting — once for the whole group while
+// applying per-input data effects in stride. Per-lane results are
+// bit-identical to serial per-input runs; a lane whose data would change
+// control flow diverges and is transparently re-run on the serial path.
+// 0 or 1 disables lane batching.
+func WithSimLanes(n int) Option {
+	return func(o *settings) { o.SimLanes = n }
+}
+
 // WithCompileCache shares a compile cache with the engine — e.g. one a DSE
 // sweep over the same architecture already populated, so serving reuses
 // the sweep's artifacts. Passed to NewEngine it becomes the engine's
@@ -144,6 +156,7 @@ type sessionKey struct {
 	cycleLimit int64
 	maxPooled  int
 	simWorkers int
+	simLanes   int
 	cache      *CompileCache
 }
 
@@ -280,6 +293,7 @@ func (e *Engine) Session(g *Graph, opts ...Option) (*Session, error) {
 		cycleLimit: st.CycleLimit,
 		maxPooled:  st.MaxPooledChips,
 		simWorkers: st.SimWorkers,
+		simLanes:   st.SimLanes,
 		cache:      cache,
 	}
 	for {
@@ -379,6 +393,18 @@ func (s *Session) InputShape() Shape { return s.inner.InputShape() }
 
 // PooledChips reports how many idle pre-initialized chips the session holds.
 func (s *Session) PooledChips() int { return s.inner.PooledChips() }
+
+// SimLanes reports the session's lane-batch capacity (>= 1, see
+// WithSimLanes).
+func (s *Session) SimLanes() int { return s.inner.SimLanes() }
+
+// LaneOccupancy returns a histogram of completed chip runs by lane
+// occupancy: entry b counts runs that carried b inferences.
+func (s *Session) LaneOccupancy() []int64 { return s.inner.LaneOccupancy() }
+
+// LaneFallbacks reports how many lanes diverged during lane-batched runs
+// and were transparently re-run on the serial path.
+func (s *Session) LaneFallbacks() int64 { return s.inner.LaneFallbacks() }
 
 // Closed reports whether the session has been closed.
 func (s *Session) Closed() bool { return s.inner.Closed() }

@@ -64,6 +64,13 @@ type Options struct {
 	// scheduler. Results are bit-identical at any setting; this trades
 	// simulation throughput against host parallelism budget.
 	SimWorkers int
+	// SimLanes sets the session's lane-batch capacity (sim.WithLanes, at
+	// most sim.MaxLanes): InferBatch fills up to SimLanes inputs into one
+	// lane-batched chip run, paying the cycle-accurate schedule once per
+	// batch. Per-lane results are bit-identical to serial per-input runs —
+	// lanes whose data would change control flow diverge and re-run
+	// serially. 0 or 1 disables lane batching.
+	SimLanes int
 }
 
 // Run compiles the model for the architecture (one pass of the staged

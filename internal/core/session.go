@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"cimflow/internal/arch"
 	"cimflow/internal/compiler"
@@ -39,6 +41,17 @@ type Session struct {
 	scratch  [][2]int
 	free     chan *sim.Chip
 
+	// Lane-batch observability: laneRuns[b] counts chip runs that carried
+	// b lanes of occupancy, laneFallbacks counts lanes that diverged and
+	// were re-run serially.
+	laneRuns      []atomic.Int64
+	laneFallbacks atomic.Int64
+
+	// testForceDiverge, when set by tests, marks extra lanes of a
+	// lane-batched run as diverged so the serial fallback path is
+	// exercised without crafting data-dependent control flow.
+	testForceDiverge func(b int) []int
+
 	pmu    sync.Mutex // guards closed and pool membership on release
 	closed bool
 }
@@ -55,6 +68,12 @@ func NewSession(compiled *compiler.Compiled, ws model.WeightStore, opt Options) 
 	if poolCap <= 0 {
 		poolCap = runtime.GOMAXPROCS(0)
 	}
+	if opt.SimLanes < 1 {
+		opt.SimLanes = 1
+	}
+	if opt.SimLanes > sim.MaxLanes {
+		return nil, fmt.Errorf("core: SimLanes %d exceeds sim.MaxLanes %d", opt.SimLanes, sim.MaxLanes)
+	}
 	return &Session{
 		compiled: compiled,
 		ws:       ws,
@@ -63,8 +82,27 @@ func NewSession(compiled *compiler.Compiled, ws model.WeightStore, opt Options) 
 		static:   static,
 		scratch:  compiled.ScratchRanges(),
 		free:     make(chan *sim.Chip, poolCap),
+		laneRuns: make([]atomic.Int64, opt.SimLanes+1),
 	}, nil
 }
+
+// SimLanes reports the session's lane-batch capacity (>= 1).
+func (s *Session) SimLanes() int { return s.opt.SimLanes }
+
+// LaneOccupancy returns a histogram of chip runs by lane occupancy:
+// entry b counts completed runs that carried b inferences. Entry 0 is
+// always zero; serial runs count under entry 1.
+func (s *Session) LaneOccupancy() []int64 {
+	occ := make([]int64, len(s.laneRuns))
+	for i := range s.laneRuns {
+		occ[i] = s.laneRuns[i].Load()
+	}
+	return occ
+}
+
+// LaneFallbacks reports how many lanes diverged from lane 0's control
+// flow during lane-batched runs and were re-run on the serial path.
+func (s *Session) LaneFallbacks() int64 { return s.laneFallbacks.Load() }
 
 // Compiled returns the compiled artifact the session runs.
 func (s *Session) Compiled() *compiler.Compiled { return s.compiled }
@@ -120,6 +158,9 @@ func (s *Session) newChip() (*sim.Chip, error) {
 	if s.opt.SimWorkers != 0 {
 		chipOpts = append(chipOpts, sim.WithWorkers(s.opt.SimWorkers))
 	}
+	if s.opt.SimLanes > 1 {
+		chipOpts = append(chipOpts, sim.WithLanes(s.opt.SimLanes))
+	}
 	ch, err := sim.NewChip(&s.cfg, chipOpts...)
 	if err != nil {
 		return nil, err
@@ -141,24 +182,32 @@ func (s *Session) newChip() (*sim.Chip, error) {
 	return ch, nil
 }
 
-// acquire returns a ready-to-run chip: a pooled one reset to pristine
-// state, or a freshly built one when the pool is empty.
-func (s *Session) acquire() (*sim.Chip, error) {
+// acquire returns a ready-to-run chip with the requested lane occupancy
+// set: a pooled one reset to pristine state, or a freshly built one when
+// the pool is empty.
+func (s *Session) acquire(lanes int) (*sim.Chip, error) {
 	if s.Closed() {
 		return nil, ErrClosed
 	}
+	var ch *sim.Chip
 	select {
-	case ch := <-s.free:
+	case ch = <-s.free:
 		ch.Reset()
 		for _, r := range s.scratch {
 			if err := ch.ZeroGlobal(r[0], r[1]); err != nil {
 				return nil, err
 			}
 		}
-		return ch, nil
 	default:
-		return s.newChip()
+		var err error
+		if ch, err = s.newChip(); err != nil {
+			return nil, err
+		}
 	}
+	if err := ch.SetLanes(lanes); err != nil {
+		return nil, err
+	}
+	return ch, nil
 }
 
 // release returns a chip to the pool, dropping it when the pool is full or
@@ -187,17 +236,18 @@ func (s *Session) Infer(ctx context.Context, input tensor.Tensor) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	ch, err := s.acquire()
+	ch, err := s.acquire(1)
 	if err != nil {
 		return nil, err
 	}
 	if err := ch.InitGlobal(seg); err != nil {
 		return nil, err
 	}
-	// Tag the simulation with the model name so CPU profiles split by
-	// workload; the simulator's own scheduler adds the phase labels.
+	// Tag the simulation with the model name and lane occupancy so CPU
+	// profiles split by workload; the simulator's own scheduler adds the
+	// phase labels.
 	var stats *sim.Stats
-	pprof.Do(ctx, pprof.Labels("model", s.compiled.Graph.Name), func(ctx context.Context) {
+	pprof.Do(ctx, pprof.Labels("model", s.compiled.Graph.Name, "sim-lanes", "1"), func(ctx context.Context) {
 		stats, err = ch.Run(ctx)
 	})
 	if err != nil {
@@ -209,7 +259,109 @@ func (s *Session) Infer(ctx context.Context, input tensor.Tensor) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	s.laneRuns[1].Add(1)
 	return newResult(s.compiled, stats, out, s.cfg.ClockGHz), nil
+}
+
+// cloneStats makes an independent copy of a lane-batched run's shared
+// stats so each per-lane Result owns its Stats like a serial run would.
+func cloneStats(st *sim.Stats) *sim.Stats {
+	cp := *st
+	cp.Cores = append([]sim.CoreStats(nil), st.Cores...)
+	return &cp
+}
+
+// inferLanes executes up to SimLanes inputs as one lane-batched chip
+// run: the cycle-accurate schedule is paid once, with per-lane data
+// effects applied in stride. Lanes whose data diverges from lane 0's
+// control flow are re-run serially, so every returned Result is
+// bit-identical to a serial Infer of the same input.
+func (s *Session) inferLanes(ctx context.Context, inputs []tensor.Tensor) ([]*Result, error) {
+	b := len(inputs)
+	if b == 1 {
+		res, err := s.Infer(ctx, inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{res}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	segs := make([]sim.GlobalSegment, b)
+	for i, in := range inputs {
+		seg, err := s.compiled.InputSegment(in)
+		if err != nil {
+			return nil, err
+		}
+		segs[i] = seg
+	}
+	ch, err := s.acquire(b)
+	if err != nil {
+		return nil, err
+	}
+	// InitGlobal mirrors lane 0's segment into every lane image; the
+	// per-lane stores then overwrite lanes 1..b-1 with their own inputs.
+	if err := ch.InitGlobal(segs[0]); err != nil {
+		return nil, err
+	}
+	for l := 1; l < b; l++ {
+		if err := ch.InitGlobalLane(l, segs[l]); err != nil {
+			return nil, err
+		}
+	}
+	var stats *sim.Stats
+	pprof.Do(ctx, pprof.Labels("model", s.compiled.Graph.Name, "sim-lanes", strconv.Itoa(b)), func(ctx context.Context) {
+		stats, err = ch.Run(ctx)
+	})
+	if err != nil {
+		s.release(ch)
+		return nil, fmt.Errorf("core: simulating %s (lanes=%d): %w", s.compiled.Graph.Name, b, err)
+	}
+	diverged := make(map[int]bool)
+	for _, l := range ch.DivergedLanes() {
+		diverged[l] = true
+	}
+	if s.testForceDiverge != nil {
+		for _, l := range s.testForceDiverge(b) {
+			diverged[l] = true
+		}
+	}
+	results := make([]*Result, b)
+	for l := 0; l < b; l++ {
+		if diverged[l] {
+			continue
+		}
+		lane := l
+		out, err := s.compiled.ReadOutput(func(addr, size int) ([]byte, error) {
+			return ch.ReadGlobalLane(lane, addr, size)
+		})
+		if err != nil {
+			s.release(ch)
+			return nil, err
+		}
+		laneStats := stats
+		if l > 0 {
+			laneStats = cloneStats(stats)
+		}
+		results[l] = newResult(s.compiled, laneStats, out, s.cfg.ClockGHz)
+	}
+	s.release(ch)
+	s.laneRuns[b].Add(1)
+	// Divergent lanes carried garbage data past the first mismatching
+	// load; replay each on the serial path for the exact per-input run.
+	for l := range results {
+		if results[l] != nil {
+			continue
+		}
+		s.laneFallbacks.Add(1)
+		res, err := s.Infer(ctx, inputs[l])
+		if err != nil {
+			return nil, err
+		}
+		results[l] = res
+	}
+	return results, nil
 }
 
 // InferBatch runs one inference per input, fanning out across the chip
@@ -222,29 +374,54 @@ func (s *Session) InferBatch(ctx context.Context, inputs []tensor.Tensor) ([]*Re
 
 // InferBatchN is the batch dispatch hook behind InferBatch: it runs one
 // inference per input with at most parallel simulations in flight
-// (parallel <= 0 means the pool capacity). A serving layer dispatching
-// coalesced batches from its own worker pool passes parallel = 1 so total
-// chip parallelism is governed by the number of serving workers, not
+// (parallel <= 0 means the pool capacity). With SimLanes > 1 the inputs
+// are first packed into consecutive lane groups of up to SimLanes, and
+// each group runs as one lane-batched chip simulation — lanes fill
+// before additional chips fan out. A serving layer dispatching coalesced
+// batches from its own worker pool passes parallel = 1 so total chip
+// parallelism is governed by the number of serving workers, not
 // multiplied by the batch size.
 func (s *Session) InferBatchN(ctx context.Context, inputs []tensor.Tensor, parallel int) ([]*Result, error) {
 	results := make([]*Result, len(inputs))
 	if len(inputs) == 0 {
 		return results, ctx.Err()
 	}
+	lanes := s.opt.SimLanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	// Lane groups are consecutive input spans; group g covers
+	// inputs[g*lanes : min((g+1)*lanes, len)].
+	groups := (len(inputs) + lanes - 1) / lanes
+	span := func(g int) (int, int) {
+		lo := g * lanes
+		hi := lo + lanes
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		return lo, hi
+	}
+	runGroup := func(ctx context.Context, g int) error {
+		lo, hi := span(g)
+		res, err := s.inferLanes(ctx, inputs[lo:hi])
+		if err != nil {
+			return err
+		}
+		copy(results[lo:hi], res)
+		return nil
+	}
 	workers := parallel
 	if workers <= 0 {
 		workers = cap(s.free)
 	}
-	if workers > len(inputs) {
-		workers = len(inputs)
+	if workers > groups {
+		workers = groups
 	}
 	if workers <= 1 {
-		for i, in := range inputs {
-			res, err := s.Infer(ctx, in)
-			if err != nil {
+		for g := 0; g < groups; g++ {
+			if err := runGroup(ctx, g); err != nil {
 				return results, err
 			}
-			results[i] = res
 		}
 		return results, nil
 	}
@@ -271,18 +448,15 @@ func (s *Session) InferBatchN(ctx context.Context, inputs []tensor.Tensor, paral
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				res, err := s.Infer(runCtx, inputs[i])
-				if err != nil {
+			for g := range idx {
+				if err := runGroup(runCtx, g); err != nil {
 					fail(err)
-					continue
 				}
-				results[i] = res
 			}
 		}()
 	}
-	for i := range inputs {
-		idx <- i
+	for g := 0; g < groups; g++ {
+		idx <- g
 	}
 	close(idx)
 	wg.Wait()

@@ -92,11 +92,26 @@ func (s *Server) dispatch(b *batch) {
 		ins[i] = r.input
 	}
 	q.m.observeBatch(len(live))
-	// The batch runs under a background context: requests already admitted
-	// are served even during Close (graceful drain). A caller abandoning
-	// its request stops waiting in Infer; the computed reply lands in the
-	// buffered channel.
-	results, err := q.sess.InferBatchN(context.Background(), ins, 1)
+	// The batch runs under the server's lifecycle context: requests
+	// already admitted are served even during Close (graceful drain,
+	// lifeCancel fires only after the pool drains). A watcher cancels the
+	// run mid-simulation once every live caller has abandoned its request
+	// — one abandoned caller among several must not kill the batch, but a
+	// fully abandoned batch should stop burning the worker.
+	runCtx, cancel := context.WithCancel(s.lifeCtx)
+	stopWatch := make(chan struct{})
+	go func() {
+		defer cancel()
+		for _, r := range live {
+			select {
+			case <-r.ctx.Done():
+			case <-stopWatch:
+				return
+			}
+		}
+	}()
+	results, err := q.sess.InferBatchN(runCtx, ins, 1)
+	close(stopWatch)
 	now := time.Now()
 	for i, r := range live {
 		switch {

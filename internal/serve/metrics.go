@@ -67,6 +67,12 @@ type ModelMetrics struct {
 	// Session pool state.
 	PooledChips int `json:"pooled_chips"`
 	PoolCap     int `json:"pool_cap"`
+	// Lane batching: the session's lane capacity, a histogram of chip
+	// runs by lane occupancy, and how many lanes diverged and fell back
+	// to the serial path.
+	SimLanes      int           `json:"sim_lanes"`
+	LaneOccupancy map[int]int64 `json:"lane_occupancy_histogram"`
+	LaneFallbacks int64         `json:"lane_fallbacks"`
 }
 
 // Metrics is a point-in-time snapshot of the whole server.
@@ -89,16 +95,24 @@ func (s *Server) Metrics() Metrics {
 
 func (q *modelQueue) snapshot() ModelMetrics {
 	mm := ModelMetrics{
-		QueueDepth:  len(q.reqs),
-		QueueCap:    cap(q.reqs),
-		MaxBatch:    q.cfg.MaxBatch,
-		Accepted:    q.m.accepted.Load(),
-		Shed:        q.m.shed.Load(),
-		Expired:     q.m.expired.Load(),
-		Completed:   q.m.completed.Load(),
-		Failed:      q.m.failed.Load(),
-		PooledChips: q.sess.PooledChips(),
-		PoolCap:     q.sess.PoolCap(),
+		QueueDepth:    len(q.reqs),
+		QueueCap:      cap(q.reqs),
+		MaxBatch:      q.cfg.MaxBatch,
+		Accepted:      q.m.accepted.Load(),
+		Shed:          q.m.shed.Load(),
+		Expired:       q.m.expired.Load(),
+		Completed:     q.m.completed.Load(),
+		Failed:        q.m.failed.Load(),
+		PooledChips:   q.sess.PooledChips(),
+		PoolCap:       q.sess.PoolCap(),
+		SimLanes:      q.sess.SimLanes(),
+		LaneFallbacks: q.sess.LaneFallbacks(),
+	}
+	mm.LaneOccupancy = make(map[int]int64)
+	for b, n := range q.sess.LaneOccupancy() {
+		if n > 0 {
+			mm.LaneOccupancy[b] = n
+		}
 	}
 	q.m.mu.Lock()
 	mm.Batches = q.m.batches

@@ -8,12 +8,19 @@
 // deadline has already expired. A per-model dynamic batcher coalesces
 // queued requests up to MaxBatch, waiting at most MaxDelay after the first
 // request to fill the batch, and hands the batch to a worker pool shared by
-// every model. Each worker dispatches one batch at a time sequentially
+// every model. Each worker dispatches one batch at a time
 // (Session.InferBatchN with parallelism 1), so total chip parallelism
 // equals the number of workers — the scheduler's fairness unit is the
 // batch: every model holds at most one formed batch at the dispatch gate,
 // so under load workers alternate between hot models instead of letting one
-// model monopolize the pool.
+// model monopolize the pool. Sessions built with lane batching (SimLanes >
+// 1) run each coalesced batch as lane groups on a single chip, paying the
+// cycle-accurate schedule once per group instead of once per request.
+//
+// Dispatch contexts derive from the server's lifecycle context: requests
+// already admitted are served even during Close (graceful drain), but a
+// batch whose every caller has abandoned its request is cancelled mid-run
+// inside the simulator cycle loop instead of burning a worker.
 //
 // The server records per-model metrics — live queue depth, admission and
 // completion counters, a batch-size histogram and p50/p95/p99 request
@@ -80,6 +87,13 @@ type Server struct {
 	workers int
 	batches chan *batch
 
+	// lifeCtx is the server's lifecycle context: every dispatch derives
+	// its run context from it, so cancellation reaches the simulator
+	// cycle loop. lifeCancel fires only after the worker pool has
+	// drained, preserving graceful drain for admitted requests.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+
 	mu     sync.RWMutex
 	models map[string]*modelQueue
 	closed bool
@@ -129,6 +143,7 @@ func NewServer(workers int) *Server {
 		batches: make(chan *batch),
 		models:  make(map[string]*modelQueue),
 	}
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	for i := 0; i < workers; i++ {
 		s.pool.Add(1)
 		go s.worker()
@@ -280,5 +295,8 @@ func (s *Server) Close() error {
 	s.batchers.Wait()
 	close(s.batches)
 	s.pool.Wait()
+	// Cancel the lifecycle context only after the pool drained: admitted
+	// requests were served; this just releases any derived contexts.
+	s.lifeCancel()
 	return nil
 }

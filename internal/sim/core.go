@@ -31,9 +31,9 @@ type outstanding struct {
 type stepStatus int
 
 const (
-	stepOK stepStatus = iota
-	stepBlocked // waiting on a RECV whose message has not arrived
-	stepBarrier // arrived at a BARRIER (pc already past it)
+	stepOK      stepStatus = iota
+	stepBlocked            // waiting on a RECV whose message has not arrived
+	stepBarrier            // arrived at a BARRIER (pc already past it)
 	stepHalted
 )
 
@@ -65,7 +65,7 @@ type core struct {
 	latScalar  int64   // scalar ALU latency
 	latMem     int64   // local memory latency
 	bw         int64   // local memory bandwidth, bytes/cycle
-	lanes      int64   // vector lanes
+	vlanes     int64   // vector lanes
 	vecDepth   int64   // vector pipeline depth
 	mvmOcc     int64   // CIM_MVM unit occupancy (bit-serial interval)
 	mvmLat     int64   // CIM_MVM completion latency
@@ -106,6 +106,15 @@ type core struct {
 
 	gather []byte // reusable MVM input buffer
 
+	// Lane-batched state (see lanes.go): lanes[l-1] is lane l's private
+	// data image (lane 0 lives in the fields above), and laneIns/laneAccs
+	// are the preallocated scratch of the multi-RHS MVM kernel — the
+	// per-lane input/accumulator working set assembled once per MVM — so
+	// the lane-batched hot loop allocates nothing in steady state.
+	lanes    []laneCore
+	laneIns  [][]byte
+	laneAccs [][]int32
+
 	stats CoreStats
 }
 
@@ -124,7 +133,7 @@ func newCore(id int, chip *Chip) *core {
 		latScalar:  int64(cfg.Core.ScalarLatency),
 		latMem:     int64(cfg.Core.LocalMemLatency),
 		bw:         int64(cfg.Core.LocalMemBandwidth),
-		lanes:      int64(cfg.Core.VectorLanes),
+		vlanes:     int64(cfg.Core.VectorLanes),
 		vecDepth:   int64(cfg.Core.VectorPipelineDepth),
 		mvmOcc:     int64(cfg.MVMInterval()),
 		mvmLat:     int64(cfg.MVMLatency()),
@@ -133,6 +142,22 @@ func newCore(id int, chip *Chip) *core {
 	}
 	for i := range c.mg {
 		c.mg[i] = make([]byte, cfg.Unit.MacroRows*groupChans)
+	}
+	if n := chip.lanesCap; n > 1 {
+		c.lanes = make([]laneCore, n-1)
+		for l := range c.lanes {
+			ln := &c.lanes[l]
+			ln.local = make([]byte, cfg.Core.LocalMemBytes)
+			ln.mg = make([][]byte, cfg.Core.NumMacroGroups)
+			for i := range ln.mg {
+				ln.mg[i] = make([]byte, cfg.Unit.MacroRows*groupChans)
+			}
+			ln.mgDiv = make([]bool, cfg.Core.NumMacroGroups)
+			ln.cimAcc = make([]int32, groupChans)
+			ln.gather = make([]byte, cfg.Unit.MacroRows)
+		}
+		c.laneIns = make([][]byte, 0, n)
+		c.laneAccs = make([][]int32, 0, n)
 	}
 	c.reset()
 	return c
@@ -150,6 +175,16 @@ func (c *core) reset() {
 	}
 	clear(c.cimAcc)
 	clear(c.gather)
+	for i := range c.lanes {
+		ln := &c.lanes[i]
+		clear(ln.local)
+		for _, m := range ln.mg {
+			clear(m)
+		}
+		clear(ln.mgDiv)
+		clear(ln.cimAcc)
+		clear(ln.gather)
+	}
 	c.time = 0
 	c.regReady = [isa.NumGRegs]int64{}
 	c.unitFree = [5]int64{}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"cimflow/internal/isa"
+)
+
+// laneTestProgram moves data through every lane-private surface without
+// touching a scalar load of lane-varying data: 32 input bytes are copied
+// from global memory into local, doubled with a SIMD add, and copied back
+// out, so per-lane outputs depend on per-lane inputs while control flow
+// stays lane-uniform.
+func laneTestProgram() []isa.Instruction {
+	prog := []isa.Instruction{}
+	prog = append(prog, isa.LI(1, GlobalBase)...)    // global input
+	prog = append(prog, isa.LI(2, 0)...)             // local staging
+	prog = append(prog, isa.LI(3, 32)...)            // size
+	prog = append(prog, isa.LI(4, GlobalBase+64)...) // global output
+	prog = append(prog, isa.LI(5, 64)...)            // local result
+	prog = append(prog,
+		isa.MemCpy(2, 1, 3, 0),           // local[0:32] = global[0:32]
+		isa.Vec(isa.VFnAdd8, 5, 2, 2, 3), // local[64:96] = 2*local[0:32]
+		isa.MemCpy(4, 5, 3, 0),           // global[64:96] = local[64:96]
+		isa.Halt(),
+	)
+	return prog
+}
+
+// TestLaneDataEquivalence proves the lane data plane end to end at the sim
+// layer: three inputs run as one 3-lane batch, and every lane's output must
+// be byte-identical to a serial single-input run of the same program, with
+// identical cycles and energy (timing is shared across lanes).
+func TestLaneDataEquivalence(t *testing.T) {
+	cfg := testConfig()
+	cfg.Chip.CoreRows, cfg.Chip.CoreCols = 1, 1
+	prog := laneTestProgram()
+
+	inputs := make([][]byte, 3)
+	for l := range inputs {
+		in := make([]byte, 32)
+		for i := range in {
+			in[i] = byte(17*l + 3*i + 1)
+		}
+		inputs[l] = in
+	}
+
+	// Reference: one serial chip per input.
+	refOut := make([][]byte, len(inputs))
+	var refStats *Stats
+	for l, in := range inputs {
+		ch, err := NewChip(&cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.EnsureGlobal(128)
+		if err := ch.LoadProgram(Program{Core: 0, Code: prog}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.InitGlobal(GlobalSegment{Addr: 0, Data: in}); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := ch.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refOut[l], err = ch.ReadGlobal(64, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l == 0 {
+			refStats = stats
+		} else if stats.Cycles != refStats.Cycles {
+			t.Fatalf("reference runs disagree on cycles: %d vs %d", stats.Cycles, refStats.Cycles)
+		}
+	}
+
+	// Lane-batched: one chip, three lanes; built with spare capacity so the
+	// occupancy < capacity path is covered too.
+	ch, err := NewChip(&cfg, WithLanes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.EnsureGlobal(128)
+	if err := ch.LoadProgram(Program{Core: 0, Code: prog}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.SetLanes(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.InitGlobal(GlobalSegment{Addr: 0, Data: inputs[0]}); err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l < 3; l++ {
+		if err := ch.InitGlobalLane(l, GlobalSegment{Addr: 0, Data: inputs[l]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := ch.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Lanes != 3 || stats.DivergedLanes != 0 {
+		t.Fatalf("stats: lanes %d diverged %d, want 3 and 0", stats.Lanes, stats.DivergedLanes)
+	}
+	if got := ch.DivergedLanes(); len(got) != 0 {
+		t.Fatalf("unexpected diverged lanes %v", got)
+	}
+	if stats.Cycles != refStats.Cycles || stats.Instructions != refStats.Instructions ||
+		stats.Energy != refStats.Energy {
+		t.Errorf("lane-batched timing differs from serial: cycles %d vs %d", stats.Cycles, refStats.Cycles)
+	}
+	for l := 0; l < 3; l++ {
+		out, err := ch.ReadGlobalLane(l, 64, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, refOut[l]) {
+			t.Errorf("lane %d output differs from serial run:\nlane   %v\nserial %v", l, out, refOut[l])
+		}
+	}
+
+	// Pooled rerun at shrunk occupancy: Reset + SetLanes(2) with swapped
+	// inputs must reproduce the serial results again (no stale lane state).
+	ch.Reset()
+	if err := ch.SetLanes(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.InitGlobal(GlobalSegment{Addr: 0, Data: inputs[2]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.InitGlobalLane(1, GlobalSegment{Addr: 0, Data: inputs[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for l, want := range [][]byte{refOut[2], refOut[1]} {
+		out, err := ch.ReadGlobalLane(l, 64, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, want) {
+			t.Errorf("pooled rerun lane %d output differs from serial run", l)
+		}
+	}
+}
+
+// TestLaneDivergenceDetection loads a byte that differs between lanes into
+// a register — the one operation that can break the shared-register
+// invariant — and requires the run to flag the divergent lane while lane
+// 0's results stay exactly those of a serial run.
+func TestLaneDivergenceDetection(t *testing.T) {
+	cfg := testConfig()
+	cfg.Chip.CoreRows, cfg.Chip.CoreCols = 1, 1
+	prog := []isa.Instruction{}
+	prog = append(prog, isa.LI(1, GlobalBase)...)
+	prog = append(prog,
+		isa.Instruction{Op: isa.OpScLB, RT: 2, RS: 1, Imm: 0},  // r2 = global[0], lane-varying
+		isa.Instruction{Op: isa.OpScSB, RT: 2, RS: 1, Imm: 16}, // global[16] = r2
+		isa.Halt(),
+	)
+	ch, err := NewChip(&cfg, WithLanes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.EnsureGlobal(64)
+	if err := ch.LoadProgram(Program{Core: 0, Code: prog}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.SetLanes(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.InitGlobal(GlobalSegment{Addr: 0, Data: []byte{5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.InitGlobalLane(1, GlobalSegment{Addr: 0, Data: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ch.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := ch.DivergedLanes()
+	if len(diverged) != 1 || diverged[0] != 1 {
+		t.Fatalf("diverged lanes %v, want [1]", diverged)
+	}
+	if stats.DivergedLanes != 1 {
+		t.Fatalf("stats.DivergedLanes = %d, want 1", stats.DivergedLanes)
+	}
+	out, err := ch.ReadGlobal(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 5 {
+		t.Errorf("lane 0 output %d corrupted by divergence handling, want 5", out[0])
+	}
+}
+
+// TestLaneStepAllocs is the lane-batched twin of TestStepDecodedZeroAllocs:
+// once warm, stepping the full 4-lane data plane through the vector,
+// transfer and CIM units must not allocate — every per-lane slice is a view
+// of state preallocated at chip construction.
+func TestLaneStepAllocs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Chip.CoreRows, cfg.Chip.CoreCols = 1, 1
+	ch, err := NewChip(&cfg, WithLanes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.SetLanes(4); err != nil {
+		t.Fatal(err)
+	}
+	ch.handlers = &decLaneHandlers // Run installs this; the test steps directly
+	prog := []isa.Instruction{}
+	prog = append(prog, isa.LI(1, 0)...)
+	prog = append(prog, isa.LI(2, 64)...)
+	prog = append(prog, isa.LI(3, 128)...)
+	prog = append(prog, isa.LI(4, 32)...)
+	prog = append(prog, isa.LI(5, 0)...)
+	prog = append(prog, isa.LI(6, 8)...)
+	prog = append(prog, isa.LI(7, 8)...)
+	loop := len(prog)
+	prog = append(prog,
+		isa.Vec(isa.VFnAdd8, 3, 1, 2, 4),
+		isa.MemCpy(3, 1, 4, 0),
+		isa.VFill(2, 4, 3),
+		isa.CimLoad(5, 1, 6, 7),
+		isa.CimMVM(1, 6, 3, isa.MVMFlags(0, isa.MVMFlagWriteback)),
+	)
+	prog = append(prog, isa.Jmp(int32(loop-len(prog)-1)))
+	if err := ch.LoadProgram(Program{Core: 0, Code: prog}); err != nil {
+		t.Fatal(err)
+	}
+	c := ch.cores[0]
+	step := func() {
+		st, err := c.stepDecoded()
+		if err != nil || st != stepOK {
+			t.Fatalf("step failed: status %v, err %v", st, err)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(20000, step); avg != 0 {
+		t.Errorf("steady-state lane step allocates %.4f objects/op, want 0", avg)
+	}
+}

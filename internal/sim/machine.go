@@ -14,8 +14,10 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"cimflow/internal/arch"
 	"cimflow/internal/isa"
@@ -40,9 +42,12 @@ type GlobalSegment struct {
 	Data []byte
 }
 
-// message is an in-flight or delivered core-to-core transfer.
+// message is an in-flight or delivered core-to-core transfer. Under
+// lane-batched execution (lanes.go) lanePay carries the extra lanes' data
+// strided at the payload size: lane l's bytes live at [(l-1)*size, l*size).
 type message struct {
 	payload []byte
+	lanePay []byte
 	arrival int64
 }
 
@@ -158,6 +163,22 @@ type Chip struct {
 	barrierID    uint16
 	barrierArmed bool
 
+	// Lane-batched execution state (see lanes.go). lanesCap is the
+	// allocated lane capacity (WithLanes); activeLanes is the occupancy of
+	// the Run in flight (SetLanes, 1 outside lane mode); laneGlobal[l-1] is
+	// lane l's private global-memory image (lane 0 uses ch.global);
+	// divergedMask is the sticky per-lane divergence bitmap, atomic because
+	// window workers and the commit loop flag divergence concurrently;
+	// handlers is the dispatch table Run selected (serial or lane-batched);
+	// lastMsg points at the queue slot deliver just pushed, so the lane
+	// send handler can attach lane payloads to it.
+	lanesCap     int
+	activeLanes  int
+	laneGlobal   [][]byte
+	divergedMask atomic.Uint64
+	handlers     *[isa.NumKinds]decHandler
+	lastMsg      *message
+
 	// CycleLimit aborts runaway simulations; 0 means the default.
 	CycleLimit int64
 
@@ -204,6 +225,20 @@ func NewChip(cfg *arch.Config, opts ...ChipOption) (*Chip, error) {
 	}
 	for _, opt := range opts {
 		opt(ch)
+	}
+	if ch.lanesCap < 1 {
+		ch.lanesCap = 1
+	}
+	if ch.lanesCap > MaxLanes {
+		return nil, fmt.Errorf("sim: %d lanes exceed the %d-lane divergence mask", ch.lanesCap, MaxLanes)
+	}
+	ch.activeLanes = 1
+	ch.handlers = &decHandlers
+	if ch.lanesCap > 1 {
+		ch.laneGlobal = make([][]byte, ch.lanesCap-1)
+		for i := range ch.laneGlobal {
+			ch.laneGlobal[i] = make([]byte, len(ch.global))
+		}
 	}
 	ch.cores = make([]*core, 0, cfg.NumCores())
 	for i := 0; i < cfg.NumCores(); i++ {
@@ -257,15 +292,28 @@ func (ch *Chip) EnsureGlobal(size int) {
 		copy(grown, ch.global)
 		ch.global = grown
 	}
+	for i, g := range ch.laneGlobal {
+		if size > len(g) {
+			grown := make([]byte, size)
+			copy(grown, g)
+			ch.laneGlobal[i] = grown
+		}
+	}
 }
 
-// InitGlobal writes an initialization segment into global memory.
+// InitGlobal writes an initialization segment into global memory. The
+// segment is mirrored into every allocated lane image so that uniform data
+// (weights, a default input) is visible to all lanes; per-lane inputs are
+// staged on top with InitGlobalLane.
 func (ch *Chip) InitGlobal(seg GlobalSegment) error {
 	if seg.Addr < 0 || seg.Addr+len(seg.Data) > len(ch.global) {
 		return fmt.Errorf("sim: global segment [%d, %d) exceeds %d bytes",
 			seg.Addr, seg.Addr+len(seg.Data), len(ch.global))
 	}
 	copy(ch.global[seg.Addr:], seg.Data)
+	for _, g := range ch.laneGlobal {
+		copy(g[seg.Addr:], seg.Data)
+	}
 	return nil
 }
 
@@ -277,6 +325,12 @@ func (ch *Chip) ZeroGlobal(addr, size int) error {
 		return fmt.Errorf("sim: global zero [%d, %d) out of bounds", addr, addr+size)
 	}
 	clear(ch.global[addr : addr+size])
+	// Every allocated lane image is wiped, not just the active ones: a
+	// pooled chip may shrink and regrow its occupancy between runs, and a
+	// lane left dirty by an earlier wider run must not leak into a later one.
+	for _, g := range ch.laneGlobal {
+		clear(g[addr : addr+size])
+	}
 	return nil
 }
 
@@ -294,11 +348,14 @@ func (ch *Chip) Reset() {
 	for _, q := range ch.mailbox {
 		for i := q.head; i < len(q.msgs); i++ {
 			ch.putPayload(q.msgs[i].payload)
+			ch.putPayload(q.msgs[i].lanePay)
 			q.msgs[i] = message{}
 		}
 		q.msgs = q.msgs[:0]
 		q.head = 0
 	}
+	ch.lastMsg = nil
+	ch.divergedMask.Store(0)
 	ch.ready = ch.ready[:0]
 	ch.barrierWait = ch.barrierWait[:0]
 	ch.barrierMax = 0
@@ -342,7 +399,11 @@ func (ch *Chip) deliver(src, dst int, tag int32, payload []byte, arrival int64) 
 		q = &msgQueue{}
 		ch.mailbox[k] = q
 	}
-	q.push(message{payload, arrival})
+	q.push(message{payload: payload, arrival: arrival})
+	// The lane send handler attaches lane payloads to the entry just pushed;
+	// deliver runs serially (commit loop or serial scheduler), so the pointer
+	// stays valid until the next push.
+	ch.lastMsg = &q.msgs[len(q.msgs)-1]
 	rx := ch.cores[dst]
 	if rx.blockSrc == src && rx.blockTag == tag && rx.blocked {
 		rx.blocked = false
@@ -469,6 +530,22 @@ func (ch *Chip) Run(ctx context.Context) (*Stats, error) {
 		return nil, fmt.Errorf("sim: no programs loaded")
 	}
 	ch.limit = limit
+
+	// Select the dispatch table: lane-batched execution swaps in handlers
+	// that apply each micro-op's data effects to every active lane after
+	// lane 0 has driven validation and timing. It requires the predecoded
+	// pipeline (lane handlers wrap the predecoded ones) and has no
+	// per-instruction Trace notion for the extra lanes.
+	ch.handlers = &decHandlers
+	if ch.activeLanes > 1 {
+		if ch.legacy {
+			return nil, fmt.Errorf("sim: lane-batched execution requires the predecoded pipeline")
+		}
+		if ch.Trace != nil {
+			return nil, fmt.Errorf("sim: lane-batched execution does not support the Trace hook")
+		}
+		ch.handlers = &decLaneHandlers
+	}
 
 	// Route to the conservative-window parallel scheduler when it can help:
 	// it needs the predecoded pipeline (the legacy interpreter and the
@@ -640,5 +717,7 @@ func (ch *Chip) collect() *Stats {
 	s.NoCBytes = ch.mesh.TotalBytes
 	s.NoCByteHops = ch.mesh.TotalByteHops
 	s.GlobalBytes = ch.mesh.MemBytes
+	s.Lanes = ch.activeLanes
+	s.DivergedLanes = bits.OnesCount64(ch.divergedMask.Load())
 	return s
 }

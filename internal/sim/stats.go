@@ -53,16 +53,21 @@ type CoreStats struct {
 	Energy       EnergyBreakdown
 }
 
-// Stats is the whole-chip simulation report.
+// Stats is the whole-chip simulation report. Under lane-batched execution
+// (lanes.go) Lanes is the run's occupancy and DivergedLanes counts lanes
+// dropped to the divergence fallback; cycle, energy and traffic numbers are
+// the shared timing plane, identical for every converged lane.
 type Stats struct {
-	Cycles       int64
-	Instructions int64
-	MACs         int64
-	Energy       EnergyBreakdown
-	Cores        []CoreStats
-	NoCBytes     int64
-	NoCByteHops  int64
-	GlobalBytes  int64
+	Cycles        int64
+	Instructions  int64
+	MACs          int64
+	Energy        EnergyBreakdown
+	Cores         []CoreStats
+	NoCBytes      int64
+	NoCByteHops   int64
+	GlobalBytes   int64
+	Lanes         int
+	DivergedLanes int
 }
 
 // Utilization returns the average busy fraction of a unit across cores.

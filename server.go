@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"cimflow/internal/cluster"
@@ -225,6 +226,27 @@ func (m ServerMetrics) WritePrometheus(w io.Writer) error {
 			mw.Sample("cimflow_model_latency_ms",
 				cluster.Labels{{Name: "model", Value: name}, {Name: "quantile", Value: q.q}}, q.v)
 		}
+	}
+	mw.Gauge("cimflow_model_sim_lanes", "Configured lane-batch capacity by model.")
+	for _, name := range names {
+		mw.Sample("cimflow_model_sim_lanes", cluster.Labels{{Name: "model", Value: name}}, float64(m.Models[name].SimLanes))
+	}
+	mw.Counter("cimflow_model_lane_runs_total", "Chip runs by model and lane occupancy.")
+	for _, name := range names {
+		mm := m.Models[name]
+		lanes := make([]int, 0, len(mm.LaneOccupancy))
+		for b := range mm.LaneOccupancy {
+			lanes = append(lanes, b)
+		}
+		sort.Ints(lanes)
+		for _, b := range lanes {
+			mw.Sample("cimflow_model_lane_runs_total",
+				cluster.Labels{{Name: "model", Value: name}, {Name: "lanes", Value: strconv.Itoa(b)}}, float64(mm.LaneOccupancy[b]))
+		}
+	}
+	mw.Counter("cimflow_model_lane_fallbacks_total", "Lanes that diverged during lane-batched runs and re-ran serially.")
+	for _, name := range names {
+		mw.Sample("cimflow_model_lane_fallbacks_total", cluster.Labels{{Name: "model", Value: name}}, float64(m.Models[name].LaneFallbacks))
 	}
 	return mw.Err()
 }
